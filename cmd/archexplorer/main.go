@@ -1,0 +1,107 @@
+// Command archexplorer runs the full bottleneck-removal-driven design-space
+// exploration over the Table 4 space and prints the explored Pareto
+// frontier with its hypervolume.
+//
+// Usage:
+//
+//	archexplorer -suite SPEC06 -budget 1200 -seed 1
+//	archexplorer -suite SPEC17 -method BOOM-Explorer   (run a baseline instead)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"archexplorer/internal/dse"
+	"archexplorer/internal/pareto"
+	"archexplorer/internal/persist"
+	"archexplorer/internal/uarch"
+	"archexplorer/internal/workload"
+)
+
+func main() {
+	var (
+		suiteName = flag.String("suite", "SPEC06", "workload suite: SPEC06 or SPEC17")
+		budget    = flag.Int("budget", 720, "simulation budget (full config-workload runs)")
+		traceLen  = flag.Int("tracelen", 4000, "instructions per full evaluation")
+		seed      = flag.Int64("seed", 1, "random seed")
+		method    = flag.String("method", "ArchExplorer", "ArchExplorer | Random | AdaBoost | BOOM-Explorer | ArchRanker")
+		out       = flag.String("out", "", "write the exploration campaign to this JSON file")
+	)
+	flag.Parse()
+
+	var suite []workload.Profile
+	switch strings.ToUpper(*suiteName) {
+	case "SPEC06":
+		suite = workload.Suite06()
+	case "SPEC17":
+		suite = workload.Suite17()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown suite %q\n", *suiteName)
+		os.Exit(2)
+	}
+
+	var ex dse.Explorer
+	switch *method {
+	case "ArchExplorer":
+		ex = dse.NewArchExplorer(*seed)
+	case "Random":
+		ex = &dse.RandomSearch{Seed: *seed}
+	case "AdaBoost":
+		ex = dse.NewAdaBoostDSE(*seed)
+	case "BOOM-Explorer":
+		ex = dse.NewBOOMExplorer(*seed)
+	case "ArchRanker":
+		ex = dse.NewArchRankerDSE(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown method %q\n", *method)
+		os.Exit(2)
+	}
+
+	ev := dse.NewEvaluator(uarch.StandardSpace(), suite, *traceLen)
+	fmt.Printf("%s on %s (%d workloads), budget %d simulations\n",
+		ex.Name(), *suiteName, len(suite), *budget)
+	if err := ex.Run(ev, *budget); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	ref := pareto.Reference{Perf: 0.01, Power: 1.5, Area: 25}
+	pts := ev.PointsUpTo(float64(*budget))
+	fr := pareto.Frontier(pts)
+	fmt.Printf("\nspent %.1f simulations, %d designs explored, %d full evaluations\n",
+		ev.Sims, len(pts), len(ev.Points()))
+	fmt.Printf("Pareto hypervolume: %.4f\n\n", pareto.Hypervolume(pts, ref))
+
+	fmt.Printf("Pareto frontier (%d designs):\n", len(fr))
+	fmt.Printf("%8s %10s %10s %12s\n", "IPC", "power(W)", "area(mm2)", "Perf2/(PxA)")
+	for _, p := range fr {
+		fmt.Printf("%8.4f %10.4f %10.3f %12.4f\n",
+			p.Perf, p.Power, p.Area, p.Perf*p.Perf/(p.Power*p.Area))
+	}
+
+	// Show the configuration of the best trade-off design.
+	var best *dse.Evaluation
+	for _, e := range ev.History {
+		if e.Probe {
+			continue
+		}
+		if best == nil || e.Tradeoff() > best.Tradeoff() {
+			best = e
+		}
+	}
+	if best != nil {
+		fmt.Printf("\nbest trade-off design: %s\n", best.Config)
+	}
+
+	if *out != "" {
+		c := persist.FromEvaluator(ex.Name(), *suiteName, *budget, ev)
+		if err := c.Save(*out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("campaign written to %s (%d designs)\n", *out, len(c.Designs))
+	}
+}

@@ -1,0 +1,128 @@
+// Command bottleneck simulates one microarchitecture on one workload and
+// prints the critical-path bottleneck analysis report — the per-resource
+// runtime contributions ArchExplorer's DSE consumes.
+//
+// Usage:
+//
+//	bottleneck -workload 458.sjeng -n 20000
+//	bottleneck -workload 429.mcf -rob 128 -intrf 96 -width 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"archexplorer/internal/deg"
+	"archexplorer/internal/mcpat"
+	"archexplorer/internal/ooo"
+	"archexplorer/internal/uarch"
+	"archexplorer/internal/workload"
+)
+
+func main() {
+	cfg := uarch.Baseline()
+	var (
+		wlName = flag.String("workload", "458.sjeng", "workload name (see Table 3)")
+		n      = flag.Int("n", 10000, "instructions to simulate")
+		all    = flag.Bool("all", false, "average the report over every workload")
+		dotOut = flag.String("dot", "", "write the induced DEG as Graphviz DOT to this file (small -n only)")
+	)
+	flag.IntVar(&cfg.Width, "width", cfg.Width, "pipeline width")
+	flag.IntVar(&cfg.ROBEntries, "rob", cfg.ROBEntries, "reorder buffer entries")
+	flag.IntVar(&cfg.IQEntries, "iq", cfg.IQEntries, "issue queue entries")
+	flag.IntVar(&cfg.LQEntries, "lq", cfg.LQEntries, "load queue entries")
+	flag.IntVar(&cfg.SQEntries, "sq", cfg.SQEntries, "store queue entries")
+	flag.IntVar(&cfg.IntRF, "intrf", cfg.IntRF, "physical integer registers")
+	flag.IntVar(&cfg.FpRF, "fprf", cfg.FpRF, "physical floating-point registers")
+	flag.IntVar(&cfg.IntALU, "intalu", cfg.IntALU, "integer ALUs")
+	flag.IntVar(&cfg.DCacheKB, "dcache", cfg.DCacheKB, "L1 D$ size in KB")
+	flag.IntVar(&cfg.ICacheKB, "icache", cfg.ICacheKB, "L1 I$ size in KB")
+	flag.Parse()
+
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	profiles := []workload.Profile{}
+	if *all {
+		profiles = workload.All()
+	} else {
+		p, err := workload.ByName(*wlName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		profiles = append(profiles, p)
+	}
+
+	fmt.Printf("config: %s\n\n", cfg)
+	var reports []*deg.Report
+	for _, p := range profiles {
+		stream, err := workload.CachedTrace(p, *n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		core, err := ooo.New(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tr, stats, err := core.Run(stream)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		pw, err := mcpat.Evaluate(cfg, stats)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rep, g, cp, err := deg.Analyze(tr, deg.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		reports = append(reports, rep)
+		if *dotOut != "" && !*all {
+			f, err := os.Create(*dotOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := g.WriteDOT(f, cp); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("DEG written to %s\n", *dotOut)
+		}
+		fmt.Printf("%-18s IPC=%.4f  power=%.4f W  area=%.3f mm2  mispredict=%.2f%%  d$miss=%.2f%%\n",
+			p.Name, stats.IPC(), pw.PowerW, pw.AreaMM2,
+			100*stats.MispredictRate(),
+			100*float64(stats.DCacheMisses)/float64(max(stats.DCacheAccesses, 1)))
+		if !*all {
+			fmt.Printf("\n%s", rep)
+		}
+	}
+	if *all {
+		merged, err := deg.Merge(reports, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nEquation-2 weighted average across %d workloads:\n%s", len(reports), merged)
+	}
+}
+
+func max(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,69 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run table5 -budget 2400 -seeds 3
+//	experiments -run all -fast
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"archexplorer/internal/exp"
+)
+
+func main() {
+	var (
+		run      = flag.String("run", "", "experiment to run (see -list), or \"all\"")
+		list     = flag.Bool("list", false, "list available experiments")
+		budget   = flag.Int("budget", 0, "simulation budget for DSE experiments")
+		traceLen = flag.Int("tracelen", 0, "instructions per workload evaluation")
+		seeds    = flag.Int("seeds", 0, "seeds averaged in DSE comparisons")
+		samples  = flag.Int("samples", 0, "design samples for fig1")
+		fast     = flag.Bool("fast", false, "shrink all experiments for a quick pass")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("available experiments:")
+		for _, e := range exp.List() {
+			fmt.Printf("  %-12s %-12s %s\n", e.Name, e.Paper, e.Desc)
+		}
+		if *run == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	opts := exp.Options{
+		Budget:   *budget,
+		TraceLen: *traceLen,
+		Seeds:    *seeds,
+		Samples:  *samples,
+		Fast:     *fast,
+	}
+
+	names := []string{*run}
+	if *run == "all" {
+		names = names[:0]
+		for _, e := range exp.List() {
+			names = append(names, e.Name)
+		}
+	}
+	for _, name := range names {
+		e, err := exp.Get(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("==== %s (%s) ====\n", e.Name, e.Paper)
+		if err := e.Run(opts, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

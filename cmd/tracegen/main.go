@@ -1,0 +1,102 @@
+// Command tracegen materialises the synthetic workload traces for
+// inspection: instruction listings, dynamic mixes, and CSV export for
+// external analysis.
+//
+// Usage:
+//
+//	tracegen -workload 429.mcf -n 50 -v        # listing
+//	tracegen -stats                             # Table 3 mix summary
+//	tracegen -workload 444.namd -n 10000 -csv trace.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"archexplorer/internal/workload"
+)
+
+func main() {
+	var (
+		name    = flag.String("workload", "458.sjeng", "workload name")
+		n       = flag.Int("n", 20, "instructions to generate")
+		verbose = flag.Bool("v", false, "print the instruction listing")
+		stats   = flag.Bool("stats", false, "print mix statistics for every workload")
+		csvPath = flag.String("csv", "", "write the trace as CSV to this file")
+	)
+	flag.Parse()
+
+	if *stats {
+		fmt.Printf("%-18s %-7s %8s %8s %8s %8s\n", "workload", "suite", "loads", "stores", "branches", "taken%")
+		for _, p := range workload.All() {
+			tr, err := workload.CachedTrace(p, *n)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			m := workload.Mix(tr)
+			taken := 0.0
+			if m.Branches > 0 {
+				taken = 100 * float64(m.TakenBranches) / float64(m.Branches)
+			}
+			fmt.Printf("%-18s %-7s %8d %8d %8d %7.1f%%\n", p.Name, p.Suite, m.Loads, m.Stores, m.Branches, taken)
+		}
+		return
+	}
+
+	p, err := workload.ByName(*name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	tr, err := workload.Trace(p, *n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		w := csv.NewWriter(f)
+		_ = w.Write([]string{"seq", "pc", "class", "src1", "src2", "dest", "addr", "taken", "target"})
+		for i := range tr {
+			in := &tr[i]
+			_ = w.Write([]string{
+				strconv.Itoa(i),
+				fmt.Sprintf("%#x", in.PC),
+				in.Class.String(),
+				in.Src1.String(), in.Src2.String(), in.Dest.String(),
+				fmt.Sprintf("%#x", in.Addr),
+				strconv.FormatBool(in.Taken),
+				fmt.Sprintf("%#x", in.Target),
+			})
+		}
+		w.Flush()
+		if err := w.Error(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d instructions to %s\n", len(tr), *csvPath)
+		return
+	}
+
+	m := workload.Mix(tr)
+	fmt.Printf("%s (%s): %d instructions, %d loads, %d stores, %d branches\n",
+		p.Name, p.Suite, m.Total, m.Loads, m.Stores, m.Branches)
+	if *verbose {
+		for i := range tr {
+			fmt.Printf("%6d  %s\n", i, tr[i].String())
+		}
+	}
+}

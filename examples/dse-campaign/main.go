@@ -1,0 +1,50 @@
+// DSE campaign example: run ArchExplorer and a random-search control on
+// the same budget and compare their hypervolume curves and frontiers —
+// a miniature of the Figure 12 experiment.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"archexplorer/internal/dse"
+	"archexplorer/internal/pareto"
+	"archexplorer/internal/uarch"
+	"archexplorer/internal/workload"
+)
+
+func main() {
+	const budget = 360 // full (config, workload) simulations
+	suite := workload.Suite06()
+	ref := pareto.Reference{Perf: 0.01, Power: 1.5, Area: 25}
+
+	for _, ex := range []dse.Explorer{
+		dse.NewArchExplorer(1),
+		&dse.RandomSearch{Seed: 1},
+	} {
+		ev := dse.NewEvaluator(uarch.StandardSpace(), suite, 4000)
+		if err := ex.Run(ev, budget); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s ==\n", ex.Name())
+		fmt.Printf("spent %.1f sims, explored %d designs (%d at full fidelity)\n",
+			ev.Sims, len(ev.PointsUpTo(budget)), len(ev.Points()))
+		for _, b := range []int{budget / 4, budget / 2, budget} {
+			hv := pareto.Hypervolume(ev.PointsUpTo(float64(b)), ref)
+			fmt.Printf("  HV@%-4d = %.4f\n", b, hv)
+		}
+		fr := pareto.Frontier(ev.PointsUpTo(budget))
+		fmt.Printf("frontier: %d designs; best trade-off %.4f\n\n",
+			len(fr), bestTradeoff(fr))
+	}
+}
+
+func bestTradeoff(fr []pareto.Point) float64 {
+	best := 0.0
+	for _, p := range fr {
+		if v := p.Perf * p.Perf / (p.Power * p.Area); v > best {
+			best = v
+		}
+	}
+	return best
+}

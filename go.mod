@@ -1,0 +1,3 @@
+module archexplorer
+
+go 1.22

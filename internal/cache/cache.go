@@ -1,0 +1,219 @@
+// Package cache models the two-level cache hierarchy of the evaluated
+// processor: split first-level instruction and data caches (swept in the
+// design space), a unified 8-way 2MB L2, and a fixed-latency DRAM main
+// memory (Section 5.1 of the paper).
+//
+// The model is a timing filter: an access returns the number of cycles
+// until data is available. Caches are set-associative with true-LRU
+// replacement and are non-blocking only in the sense that the core overlaps
+// latencies itself; the cache keeps no MSHR state. This matches the
+// fidelity the DEG needs — the D-cache "skewed" edges carry the observed
+// access latency, whatever produced it.
+package cache
+
+import "fmt"
+
+// Latencies of the fixed parts of the hierarchy, in cycles.
+const (
+	L1HitLatency = 2  // Table 1: 2-cycle L1 I$ and D$
+	L2HitLatency = 12 // typical L2 for the era's 2MB/8-way
+	DRAMLatency  = 200
+	L2SizeKB     = 2048
+	L2Assoc      = 8
+	LineBytes    = 64
+	lineShift    = 6
+)
+
+// Config sizes one level-1 cache.
+type Config struct {
+	SizeKB int
+	Assoc  int
+}
+
+type set struct {
+	tags []uint64
+	// lru[i] is the recency rank of way i (0 = most recent).
+	lru   []uint8
+	valid []bool
+	// pfTag marks lines installed by the prefetcher and not yet demanded
+	// (tagged prefetching: the first demand hit re-arms the prefetcher).
+	pfTag []bool
+}
+
+// Cache is a set-associative cache with LRU replacement.
+type Cache struct {
+	sets    []set
+	assoc   int
+	setMask uint64
+
+	Accesses uint64
+	Misses   uint64
+	// HitOnPrefetch reports whether the most recent Access consumed a
+	// prefetched line for the first time.
+	HitOnPrefetch bool
+}
+
+// New builds a cache; size must divide evenly into sets of the given
+// associativity.
+func New(cfg Config) (*Cache, error) {
+	if cfg.SizeKB < 1 || cfg.Assoc < 1 {
+		return nil, fmt.Errorf("cache: bad config %+v", cfg)
+	}
+	lines := cfg.SizeKB * 1024 / LineBytes
+	nsets := lines / cfg.Assoc
+	if nsets < 1 || nsets&(nsets-1) != 0 {
+		return nil, fmt.Errorf("cache: %dKB/%d-way yields %d sets (must be a power of two >= 1)", cfg.SizeKB, cfg.Assoc, nsets)
+	}
+	c := &Cache{assoc: cfg.Assoc, setMask: uint64(nsets - 1)}
+	c.sets = make([]set, nsets)
+	for i := range c.sets {
+		c.sets[i] = set{
+			tags:  make([]uint64, cfg.Assoc),
+			lru:   make([]uint8, cfg.Assoc),
+			valid: make([]bool, cfg.Assoc),
+			pfTag: make([]bool, cfg.Assoc),
+		}
+		// Recency ranks form a permutation 0..assoc-1; touch preserves
+		// that invariant, so they must start distinct.
+		for w := 0; w < cfg.Assoc; w++ {
+			c.sets[i].lru[w] = uint8(w)
+		}
+	}
+	return c, nil
+}
+
+// Access looks up addr, filling the line on a miss, and reports whether the
+// access hit. HitOnPrefetch is set when the hit consumed a prefetched line
+// for the first time (the hierarchy re-arms the prefetcher on that signal).
+func (c *Cache) Access(addr uint64) bool {
+	c.HitOnPrefetch = false
+	c.Accesses++
+	hit, _ := c.lookup(addr, false)
+	return hit
+}
+
+// Install fills addr as a prefetch: no statistics, line tagged.
+func (c *Cache) Install(addr uint64) {
+	c.lookup(addr, true)
+}
+
+func (c *Cache) lookup(addr uint64, isPrefetch bool) (hit bool, way int) {
+	line := addr >> lineShift
+	s := &c.sets[line&c.setMask]
+	tag := line >> 1 // keep set bits out of the tag for compactness
+
+	for w := 0; w < c.assoc; w++ {
+		if s.valid[w] && s.tags[w] == tag {
+			c.touch(s, w)
+			if !isPrefetch && s.pfTag[w] {
+				s.pfTag[w] = false
+				c.HitOnPrefetch = true
+			}
+			return true, w
+		}
+	}
+	if !isPrefetch {
+		c.Misses++
+	}
+	// Fill the LRU way.
+	victim := 0
+	for w := 0; w < c.assoc; w++ {
+		if !s.valid[w] {
+			victim = w
+			break
+		}
+		if s.lru[w] > s.lru[victim] {
+			victim = w
+		}
+	}
+	s.valid[victim] = true
+	s.tags[victim] = tag
+	s.pfTag[victim] = isPrefetch
+	c.touch(s, victim)
+	return false, victim
+}
+
+// touch promotes way w to most-recently-used.
+func (c *Cache) touch(s *set, w int) {
+	old := s.lru[w]
+	for i := 0; i < c.assoc; i++ {
+		if s.lru[i] < old {
+			s.lru[i]++
+		}
+	}
+	s.lru[w] = 0
+}
+
+// MissRate returns misses/accesses, or 0 before any access.
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// Hierarchy bundles L1I, L1D, and the shared L2 with its timing.
+type Hierarchy struct {
+	L1I, L1D   *Cache
+	L2         *Cache
+	Prefetches uint64
+}
+
+// NewHierarchy builds the full memory system for one design point.
+func NewHierarchy(l1i, l1d Config) (*Hierarchy, error) {
+	ic, err := New(l1i)
+	if err != nil {
+		return nil, fmt.Errorf("L1I: %w", err)
+	}
+	dc, err := New(l1d)
+	if err != nil {
+		return nil, fmt.Errorf("L1D: %w", err)
+	}
+	l2, err := New(Config{SizeKB: L2SizeKB, Assoc: L2Assoc})
+	if err != nil {
+		return nil, fmt.Errorf("L2: %w", err)
+	}
+	return &Hierarchy{L1I: ic, L1D: dc, L2: l2}, nil
+}
+
+// FetchLatency returns the cycles to fetch the instruction line at addr.
+// Misses trigger a next-line prefetch (sequential code dominates).
+func (h *Hierarchy) FetchLatency(addr uint64) int {
+	if h.L1I.Access(addr) {
+		if h.L1I.HitOnPrefetch {
+			h.prefetch(h.L1I, addr+LineBytes)
+		}
+		return L1HitLatency
+	}
+	defer h.prefetch(h.L1I, addr+LineBytes)
+	if h.L2.Access(addr) {
+		return L1HitLatency + L2HitLatency
+	}
+	return L1HitLatency + L2HitLatency + DRAMLatency
+}
+
+// DataLatency returns the cycles for a data access at addr. Stores use the
+// same path (no write buffer modelled; the SQ provides the buffering).
+// Misses trigger a tagged next-line prefetch, the timing-free equivalent of
+// gem5's stride prefetcher for unit-stride streams.
+func (h *Hierarchy) DataLatency(addr uint64) int {
+	if h.L1D.Access(addr) {
+		if h.L1D.HitOnPrefetch {
+			h.prefetch(h.L1D, addr+LineBytes)
+		}
+		return L1HitLatency
+	}
+	defer h.prefetch(h.L1D, addr+LineBytes)
+	if h.L2.Access(addr) {
+		return L1HitLatency + L2HitLatency
+	}
+	return L1HitLatency + L2HitLatency + DRAMLatency
+}
+
+// prefetch installs a line into l1 and the L2 without perturbing the demand
+// hit/miss statistics.
+func (h *Hierarchy) prefetch(l1 *Cache, addr uint64) {
+	l1.Install(addr)
+	h.L2.Install(addr)
+	h.Prefetches++
+}

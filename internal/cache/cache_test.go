@@ -1,0 +1,149 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{SizeKB: 32, Assoc: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Config{{SizeKB: 0, Assoc: 2}, {SizeKB: 32, Assoc: 0}, {SizeKB: 3, Assoc: 7}} {
+		if _, err := New(bad); err == nil {
+			t.Errorf("expected error for %+v", bad)
+		}
+	}
+}
+
+func TestHitAfterFill(t *testing.T) {
+	c, _ := New(Config{SizeKB: 16, Assoc: 2})
+	if c.Access(0x1000) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0x1000) {
+		t.Fatal("second access missed")
+	}
+	if !c.Access(0x1038) { // same 64B line
+		t.Fatal("same-line access missed")
+	}
+	if c.Access(0x1040) { // next line
+		t.Fatal("next line should miss")
+	}
+	if c.Accesses != 4 || c.Misses != 2 {
+		t.Fatalf("stats %d/%d", c.Accesses, c.Misses)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// 2-way cache: hammer three lines mapping to the same set; the least
+	// recently used one must be the victim.
+	c, _ := New(Config{SizeKB: 16, Assoc: 2}) // 128 sets
+	setStride := uint64(128 * LineBytes)
+	a, b, d := uint64(0), setStride, 2*setStride
+	c.Access(a)
+	c.Access(b)
+	c.Access(a) // a most recent
+	c.Access(d) // evicts b
+	if !c.Access(a) {
+		t.Fatal("a should have survived (was MRU)")
+	}
+	if c.Access(b) {
+		t.Fatal("b should have been evicted")
+	}
+}
+
+func TestWorkingSetFitsPerfectly(t *testing.T) {
+	c, _ := New(Config{SizeKB: 32, Assoc: 4})
+	// Touch 16KB twice: second pass must be all hits.
+	for pass := 0; pass < 2; pass++ {
+		for addr := uint64(0); addr < 16*1024; addr += LineBytes {
+			c.Access(addr)
+		}
+	}
+	if c.Misses != 16*1024/LineBytes {
+		t.Fatalf("misses %d, want only cold misses %d", c.Misses, 16*1024/LineBytes)
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	c, _ := New(Config{SizeKB: 16, Assoc: 2})
+	if c.MissRate() != 0 {
+		t.Fatal("miss rate before accesses")
+	}
+	c.Access(0)
+	c.Access(0)
+	if c.MissRate() != 0.5 {
+		t.Fatalf("miss rate %v", c.MissRate())
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h, err := NewHierarchy(Config{SizeKB: 32, Assoc: 2}, Config{SizeKB: 32, Assoc: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := uint64(0x100000)
+	// Cold: L1 miss, L2 miss -> DRAM.
+	if lat := h.DataLatency(addr); lat != L1HitLatency+L2HitLatency+DRAMLatency {
+		t.Fatalf("cold latency %d", lat)
+	}
+	// Warm: L1 hit.
+	if lat := h.DataLatency(addr); lat != L1HitLatency {
+		t.Fatalf("warm latency %d", lat)
+	}
+	// Fetch path mirrors it.
+	if lat := h.FetchLatency(0x200000); lat != L1HitLatency+L2HitLatency+DRAMLatency {
+		t.Fatalf("cold fetch latency %d", lat)
+	}
+	if lat := h.FetchLatency(0x200000); lat != L1HitLatency {
+		t.Fatalf("warm fetch latency %d", lat)
+	}
+}
+
+func TestTaggedPrefetchCoversStreams(t *testing.T) {
+	h, err := NewHierarchy(Config{SizeKB: 32, Assoc: 2}, Config{SizeKB: 32, Assoc: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stream 512 lines at 8-byte stride: after the first miss the tagged
+	// next-line prefetcher must hide nearly all subsequent line misses.
+	misses := 0
+	for addr := uint64(0x100000); addr < 0x100000+512*LineBytes; addr += 8 {
+		before := h.L1D.Misses
+		h.DataLatency(addr)
+		if h.L1D.Misses != before {
+			misses++
+		}
+	}
+	if misses > 4 {
+		t.Fatalf("streaming misses %d, prefetcher ineffective", misses)
+	}
+	if h.Prefetches == 0 {
+		t.Fatal("prefetcher never fired")
+	}
+}
+
+func TestAccessesNeverPanicAndStatsMonotone(t *testing.T) {
+	c, _ := New(Config{SizeKB: 16, Assoc: 4})
+	f := func(addr uint64) bool {
+		a0, m0 := c.Accesses, c.Misses
+		c.Access(addr)
+		return c.Accesses == a0+1 && (c.Misses == m0 || c.Misses == m0+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefetchDoesNotPerturbStats(t *testing.T) {
+	c, _ := New(Config{SizeKB: 16, Assoc: 2})
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		c.Install(rng.Uint64() % (1 << 20))
+	}
+	if c.Accesses != 0 || c.Misses != 0 {
+		t.Fatalf("Install perturbed stats: %d/%d", c.Accesses, c.Misses)
+	}
+}

@@ -1,0 +1,128 @@
+package calipers
+
+import (
+	"testing"
+
+	"archexplorer/internal/ooo"
+	"archexplorer/internal/pipetrace"
+	"archexplorer/internal/uarch"
+	"archexplorer/internal/workload"
+)
+
+func traceFor(t testing.TB, name string, n int) *pipetrace.Trace {
+	t.Helper()
+	p, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := workload.CachedTrace(p, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, err := ooo.New(uarch.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _, err := core.Run(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func cfg() Config {
+	b := uarch.Baseline()
+	return Config{
+		ROBEntries: b.ROBEntries, IQEntries: b.IQEntries,
+		LQEntries: b.LQEntries, SQEntries: b.SQEntries,
+		Width: b.Width, RdWrPorts: b.RdWrPorts,
+	}
+}
+
+func TestBuildAndCriticalPath(t *testing.T) {
+	tr := traceFor(t, "444.namd", 2000)
+	g, err := Build(tr, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4*len(tr.Records) {
+		t.Fatalf("vertices %d", g.NumVertices())
+	}
+	res, err := g.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Length <= 0 || res.Edges == 0 {
+		t.Fatalf("degenerate critical path %+v", res)
+	}
+}
+
+func TestEmptyTraceRejected(t *testing.T) {
+	if _, err := Build(&pipetrace.Trace{}, cfg()); err == nil {
+		t.Fatal("expected error for empty trace")
+	}
+}
+
+func TestStaticFormulationMisestimatesRuntime(t *testing.T) {
+	// The defining property of the previous formulation: its statically
+	// weighted critical path deviates from the actual simulated runtime
+	// (Figure 5's error analysis). A faithful reimplementation must show
+	// a nonzero error on realistic traces.
+	var anyErr bool
+	for _, name := range []string{"444.namd", "456.hmmer", "458.sjeng"} {
+		tr := traceFor(t, name, 4000)
+		g, err := Build(tr, cfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := g.CriticalPath()
+		if err != nil {
+			t.Fatal(err)
+		}
+		errPct := 100 * float64(res.Length-tr.Cycles) / float64(tr.Cycles)
+		t.Logf("%s: actual %d, estimated %d (%+.2f%%)", name, tr.Cycles, res.Length, errPct)
+		if errPct > 2 || errPct < -2 {
+			anyErr = true
+		}
+	}
+	if !anyErr {
+		t.Error("static formulation suspiciously accurate on every workload")
+	}
+}
+
+func TestPortAttributionOverestimates(t *testing.T) {
+	// Consecutive execute-to-execute chaining double-counts overlapped
+	// port usage; the previous formulation must attribute at least as
+	// many port cycles as there are memory instructions minus one.
+	tr := traceFor(t, "456.hmmer", 3000)
+	g, err := Build(tr, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count edges tagged with the port resource.
+	ports := 0
+	for _, e := range g.Edges {
+		if e.Res == uarch.ResRdWrPort {
+			ports++
+		}
+	}
+	mems := 0
+	for i := range tr.Records {
+		if tr.Records[i].Class.IsMem() {
+			mems++
+		}
+	}
+	if ports != mems-1 {
+		t.Fatalf("port edges %d, want one per consecutive memory pair (%d)", ports, mems-1)
+	}
+}
+
+func TestVertexIDRoundTrip(t *testing.T) {
+	v := Vertex(42, SExecute)
+	if v.Seq() != 42 || v.Stage() != SExecute {
+		t.Fatalf("round trip failed: %d %v", v.Seq(), v.Stage())
+	}
+	if SExecute.String() != "E" || SFetch.String() != "F" {
+		t.Fatal("stage names wrong")
+	}
+}

@@ -1,0 +1,69 @@
+package deg
+
+import (
+	"fmt"
+	"io"
+
+	"archexplorer/internal/uarch"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format, optionally
+// highlighting a critical path in red (the paper's Figure 7/9 style).
+// Intended for small traces; graphs beyond a few hundred instructions are
+// unreadable and are rejected.
+func (g *Graph) WriteDOT(w io.Writer, cp *CriticalPath) error {
+	const maxInsts = 512
+	if n := len(g.Trace.Records); n > maxInsts {
+		return fmt.Errorf("deg: refusing to render %d instructions as DOT (max %d)", n, maxInsts)
+	}
+	onPath := map[[2]VertexID]bool{}
+	if cp != nil {
+		for _, e := range cp.Edges {
+			onPath[[2]VertexID{e.From, e.To}] = true
+		}
+	}
+
+	if _, err := fmt.Fprintln(w, "digraph deg {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  rankdir=LR;")
+	fmt.Fprintln(w, "  node [shape=plaintext, fontsize=10];")
+
+	// Vertices grouped per instruction.
+	emitted := map[VertexID]bool{}
+	name := func(v VertexID) string {
+		return fmt.Sprintf("\"%s(I%d)@%d\"", v.Stage(), v.Seq(), g.time(v))
+	}
+	for _, e := range g.Edges {
+		for _, v := range [2]VertexID{e.From, e.To} {
+			if !emitted[v] {
+				emitted[v] = true
+				fmt.Fprintf(w, "  %s;\n", name(v))
+			}
+		}
+	}
+	for _, e := range g.Edges {
+		attrs := fmt.Sprintf("label=\"%d\"", e.Delay)
+		switch e.Kind {
+		case EdgeVirtual:
+			attrs += ", style=dashed, color=blue"
+		case EdgeResource, EdgeFU:
+			attrs += ", color=orange"
+		case EdgeMispredict:
+			attrs += ", color=purple"
+		case EdgeData:
+			attrs += ", color=gray"
+		}
+		if e.Res != uarch.ResNone {
+			attrs += fmt.Sprintf(", tooltip=\"%s\"", e.Res)
+		}
+		if onPath[[2]VertexID{e.From, e.To}] {
+			attrs += ", color=red, penwidth=2"
+		}
+		if _, err := fmt.Fprintf(w, "  %s -> %s [%s];\n", name(e.From), name(e.To), attrs); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

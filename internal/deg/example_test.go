@@ -1,0 +1,50 @@
+package deg_test
+
+import (
+	"fmt"
+	"log"
+
+	"archexplorer/internal/deg"
+	"archexplorer/internal/ooo"
+	"archexplorer/internal/uarch"
+	"archexplorer/internal/workload"
+)
+
+// Example demonstrates the full bottleneck-analysis pipeline: simulate a
+// design, build the induced DEG, construct the critical path, and read the
+// top bottleneck.
+func Example() {
+	cfg := uarch.Baseline()
+	profile, err := workload.ByName("458.sjeng")
+	if err != nil {
+		log.Fatal(err)
+	}
+	stream, err := workload.Trace(profile, 5000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	core, err := ooo.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace, _, err := core.Run(stream)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report, _, path, err := deg.Analyze(trace, deg.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The critical path telescopes: its edge delays sum to its span.
+	var sum int64
+	for _, e := range path.Edges {
+		sum += e.Delay
+	}
+	fmt.Println("telescopes:", sum == path.Span)
+	fmt.Println("top bottleneck:", report.Top()[0])
+	// Output:
+	// telescopes: true
+	// top bottleneck: IntRF
+}

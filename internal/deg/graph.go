@@ -1,0 +1,329 @@
+// Package deg implements the paper's new dynamic event-dependence graph
+// (DEG) formulation of microexecution, the induced DEG with virtual edges,
+// the dynamic-programming critical-path construction (Algorithm 1), and the
+// per-resource bottleneck contribution report (Equations 1 and 2).
+//
+// Vertices are pipeline events of committed instructions placed on the real
+// time axis (each vertex is (instruction sequence, stage) with the cycle
+// stamp the simulator observed). Edges follow Table 2 of the paper:
+//
+//   - Pipeline dependence (horizontal): F1→F2→F→DC→R→DP→I→(M)→P→C inside
+//     one instruction.
+//   - Misprediction dependence: P(i)→F1(j), where j is the first
+//     instruction fetched after branch i's misprediction resolved.
+//   - Hardware resource dependence: R(i)→R(j) when instruction j stalled at
+//     rename for an entry of ROB/IQ/LQ/SQ/IntRF/FpRF that i released, per
+//     the simulator's scoreboard; and I(i)→I(j) for functional units and
+//     cache read/write ports.
+//   - True data dependence: I(i)→I(j) for read-after-write producers that
+//     were not ready when j entered the issue window.
+//
+// Every edge carries its actual delay (the time interval between its
+// endpoints — the events' timing information the paper embeds), and a DP
+// cost: resource and misprediction edges cost their delay, all other edges
+// cost zero (Section 4.2's cost assignment). The induced DEG adds zero-cost
+// virtual edges connecting "skewed" edges under Rule 1 (closest in time)
+// and Rule 2 (closest in instruction sequence) so that consecutive resource
+// usage episodes chain into one critical path.
+package deg
+
+import (
+	"fmt"
+	"sort"
+
+	"archexplorer/internal/pipetrace"
+	"archexplorer/internal/uarch"
+)
+
+// EdgeKind classifies DEG edges (Table 2 plus the induced DEG's virtual
+// edges).
+type EdgeKind uint8
+
+const (
+	EdgePipeline EdgeKind = iota
+	EdgeMispredict
+	EdgeResource // rename-to-rename hardware resource usage
+	EdgeFU       // issue-to-issue functional unit / port usage
+	EdgeData     // true data dependence
+	EdgeVirtual
+	numEdgeKinds
+)
+
+// NumEdgeKinds is the number of edge classes.
+const NumEdgeKinds = int(numEdgeKinds)
+
+var edgeKindNames = [...]string{
+	EdgePipeline:   "pipeline",
+	EdgeMispredict: "mispredict",
+	EdgeResource:   "resource",
+	EdgeFU:         "fu",
+	EdgeData:       "data",
+	EdgeVirtual:    "virtual",
+}
+
+func (k EdgeKind) String() string {
+	if int(k) < len(edgeKindNames) {
+		return edgeKindNames[k]
+	}
+	return fmt.Sprintf("EdgeKind(%d)", uint8(k))
+}
+
+// cacheHitLatency is the pipelined L1 hit latency; access latencies above
+// it indicate misses and are attributed to the cache as a bottleneck.
+const cacheHitLatency = 2
+
+// VertexID addresses a vertex as seq*NumStages + stage.
+type VertexID int32
+
+// Vertex returns the ID for (seq, stage).
+func Vertex(seq int, st pipetrace.Stage) VertexID {
+	return VertexID(seq*pipetrace.NumStages + int(st))
+}
+
+// Seq extracts the instruction sequence number.
+func (v VertexID) Seq() int { return int(v) / pipetrace.NumStages }
+
+// Stage extracts the pipeline stage.
+func (v VertexID) Stage() pipetrace.Stage {
+	return pipetrace.Stage(int(v) % pipetrace.NumStages)
+}
+
+// Edge is one DEG dependence.
+type Edge struct {
+	From, To VertexID
+	Kind     EdgeKind
+	Res      uarch.Resource // attribution target (ResNone for base edges)
+	Delay    int64          // actual time interval t(To) - t(From)
+	Cost     int64          // DP cost (Section 4.2)
+}
+
+// Graph is the induced DEG of one microexecution.
+type Graph struct {
+	Trace *pipetrace.Trace
+	Edges []Edge
+
+	// in[v] lists indices into Edges of v's incoming edges; indexed
+	// densely by VertexID.
+	in [][]int32
+
+	// Statistics.
+	NumVertices   int
+	EdgesByKind   [NumEdgeKinds]int
+	SkewedAnchors int
+}
+
+// time returns the stamp of a vertex.
+func (g *Graph) time(v VertexID) int64 {
+	return g.Trace.Records[v.Seq()].Stamp[v.Stage()]
+}
+
+// order is the topological sort key: edges always go forward in
+// (time, seq, stage) lexicographic order.
+func (g *Graph) order(v VertexID) [3]int64 {
+	return [3]int64{g.time(v), int64(v.Seq()), int64(v.Stage())}
+}
+
+func orderLess(a, b [3]int64) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	if a[1] != b[1] {
+		return a[1] < b[1]
+	}
+	return a[2] < b[2]
+}
+
+// Options tunes graph construction.
+type Options struct {
+	// MaxVirtualScan bounds the candidate scan for virtual-edge rules.
+	// Zero means the default (64).
+	MaxVirtualScan int
+}
+
+// Build constructs the induced DEG from a pipeline trace.
+func Build(tr *pipetrace.Trace, opts Options) (*Graph, error) {
+	if len(tr.Records) == 0 {
+		return nil, fmt.Errorf("deg: empty trace")
+	}
+	if opts.MaxVirtualScan <= 0 {
+		opts.MaxVirtualScan = 64
+	}
+	if len(tr.Records)*pipetrace.NumStages >= 1<<24 {
+		// The topological sort packs VertexIDs into 24 bits.
+		return nil, fmt.Errorf("deg: trace of %d instructions exceeds the %d-instruction graph limit",
+			len(tr.Records), (1<<24)/pipetrace.NumStages)
+	}
+	g := &Graph{Trace: tr}
+
+	// Skewed-edge anchor bookkeeping for the induced DEG.
+	type anchor struct {
+		v     VertexID
+		ord   [3]int64
+		start bool // true for skewed-edge start vertices (virtual targets)
+	}
+	var anchors []anchor
+
+	addEdge := func(from, to VertexID, kind EdgeKind, res uarch.Resource) {
+		df, dt := g.time(from), g.time(to)
+		if df == pipetrace.NoStamp || dt == pipetrace.NoStamp {
+			return
+		}
+		delay := dt - df
+		if delay < 0 {
+			return // defensive: never create a backward edge
+		}
+		var cost int64
+		if kind == EdgeResource || kind == EdgeFU || kind == EdgeMispredict {
+			cost = delay
+		}
+		g.Edges = append(g.Edges, Edge{From: from, To: to, Kind: kind, Res: res, Delay: delay, Cost: cost})
+	}
+
+	addSkewed := func(from, to VertexID, kind EdgeKind, res uarch.Resource) {
+		n := len(g.Edges)
+		addEdge(from, to, kind, res)
+		if len(g.Edges) == n {
+			return
+		}
+		anchors = append(anchors,
+			anchor{v: from, ord: g.order(from), start: true},
+			anchor{v: to, ord: g.order(to), start: false})
+	}
+
+	for i := range tr.Records {
+		rec := &tr.Records[i]
+		// Horizontal pipeline chain. Attribution of base latencies: the
+		// I$ response edge attributes to ICache and the load access edge
+		// to DCache; remaining hops are unattributed pipeline progress.
+		prev := pipetrace.SF1
+		for s := pipetrace.SF2; s < pipetrace.Stage(pipetrace.NumStages); s++ {
+			if rec.Stamp[s] == pipetrace.NoStamp {
+				continue
+			}
+			res := uarch.ResNone
+			switch {
+			case prev == pipetrace.SF1 && s == pipetrace.SF2:
+				// The pipelined hit latency is intrinsic; only the miss
+				// portion marks the I$ as a bottleneck.
+				if rec.ICacheLat > cacheHitLatency {
+					res = uarch.ResICache
+				}
+			case prev == pipetrace.SM && s == pipetrace.SP:
+				if rec.DCacheLat > cacheHitLatency {
+					res = uarch.ResDCache
+				}
+			case prev == pipetrace.SF2 && s == pipetrace.SF,
+				prev == pipetrace.SF && s == pipetrace.SDC,
+				prev == pipetrace.SR && s == pipetrace.SDP:
+				// Fetch-buffer drain, fetch-queue and dispatch delays:
+				// front-end width/buffer pressure.
+				res = uarch.ResFrontend
+			}
+			addEdge(Vertex(i, prev), Vertex(i, s), EdgePipeline, res)
+			prev = s
+		}
+
+		// Hardware resource dependencies (rename to rename).
+		for _, rd := range rec.ResourceDeps {
+			addSkewed(Vertex(rd.Producer, pipetrace.SR), Vertex(i, pipetrace.SR), EdgeResource, rd.Resource)
+		}
+		// Functional unit and port contention (issue to issue).
+		if rec.FUProducer >= 0 {
+			addSkewed(Vertex(rec.FUProducer, pipetrace.SI), Vertex(i, pipetrace.SI), EdgeFU, rec.FURes)
+		}
+		if rec.PortProducer >= 0 {
+			addSkewed(Vertex(rec.PortProducer, pipetrace.SI), Vertex(i, pipetrace.SI), EdgeFU, uarch.ResRdWrPort)
+		}
+		// True data dependence.
+		for _, p := range rec.DataProducers {
+			addSkewed(Vertex(p, pipetrace.SI), Vertex(i, pipetrace.SI), EdgeData, uarch.ResRawDep)
+		}
+		// Misprediction dependence.
+		if rec.MispredictFrom >= 0 {
+			addSkewed(Vertex(rec.MispredictFrom, pipetrace.SP), Vertex(i, pipetrace.SF1), EdgeMispredict, uarch.ResBranchPred)
+		}
+	}
+
+	// Induced DEG: virtual edges. Candidate targets are skewed-edge start
+	// vertices; every anchor connects to (Rule 1) the target whose time is
+	// closest after its own, and (Rule 2) the target whose instruction
+	// sequence is closest after its own.
+	var targets []anchor
+	for _, a := range anchors {
+		if a.start {
+			targets = append(targets, a)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return orderLess(targets[i].ord, targets[j].ord) })
+	g.SkewedAnchors = len(anchors)
+
+	// Dedup helper for virtual edges.
+	type vkey struct{ f, t VertexID }
+	seen := make(map[vkey]bool)
+	addVirtual := func(from, to VertexID) {
+		if from == to {
+			return
+		}
+		k := vkey{from, to}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		addEdge(from, to, EdgeVirtual, uarch.ResNone)
+	}
+
+	for _, a := range anchors {
+		// Rule 1: binary search targets by order; first strictly greater.
+		lo := sort.Search(len(targets), func(i int) bool {
+			return orderLess(a.ord, targets[i].ord)
+		})
+		if lo < len(targets) {
+			best := targets[lo]
+			addVirtual(a.v, best.v)
+			// Rule 2: among the next few targets, closest sequence.
+			bestSeq := best
+			bestDist := seqDist(a.v, best.v)
+			hi := lo + opts.MaxVirtualScan
+			if hi > len(targets) {
+				hi = len(targets)
+			}
+			for _, t := range targets[lo:hi] {
+				if d := seqDist(a.v, t.v); d < bestDist {
+					bestSeq, bestDist = t, d
+				}
+			}
+			if bestSeq.v != best.v {
+				addVirtual(a.v, bestSeq.v)
+			}
+		}
+	}
+
+	// Index incoming edges and tally statistics.
+	total := len(tr.Records) * pipetrace.NumStages
+	g.in = make([][]int32, total)
+	touched := make([]bool, total)
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		g.in[e.To] = append(g.in[e.To], int32(i))
+		g.EdgesByKind[e.Kind]++
+		touched[e.From] = true
+		touched[e.To] = true
+	}
+	for _, t := range touched {
+		if t {
+			g.NumVertices++
+		}
+	}
+	return g, nil
+}
+
+func seqDist(a, b VertexID) int {
+	d := a.Seq() - b.Seq()
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// NumEdges returns the total edge count.
+func (g *Graph) NumEdges() int { return len(g.Edges) }

@@ -1,0 +1,232 @@
+package deg
+
+import (
+	"fmt"
+	"sort"
+
+	"archexplorer/internal/pipetrace"
+	"archexplorer/internal/uarch"
+)
+
+// CriticalPath is the output of Algorithm 1: the maximum-cost chain through
+// the induced DEG, which serializes the overlapping events that matter for
+// the overall runtime.
+type CriticalPath struct {
+	// Vertices of the path in execution order.
+	Vertices []VertexID
+	// Edges[i] connects Vertices[i] to Vertices[i+1].
+	Edges []Edge
+	// Cost is the DP objective: total resource/misprediction delay.
+	Cost int64
+	// Span is the wall-clock interval the path's edges cover.
+	Span int64
+}
+
+// Construct runs Algorithm 1 (dynamic-programming longest path in
+// topological order). Vertices without predecessors start at cost zero
+// (line 8 of the paper's pseudocode acts as a virtual super-source); the
+// path is reconstructed backwards from the maximum-cost vertex, which acts
+// as the virtual super-sink. Runtime not covered by the path telescopes
+// into the report's Base share.
+func (g *Graph) Construct() (*CriticalPath, error) {
+	if len(g.Edges) == 0 {
+		return nil, fmt.Errorf("deg: graph has no edges")
+	}
+
+	// Topological order: (time, seq, stage) is valid by construction.
+	total := len(g.Trace.Records) * pipetrace.NumStages
+	present := make([]bool, total)
+	nVerts := 0
+	for i := range g.Edges {
+		for _, v := range [2]VertexID{g.Edges[i].From, g.Edges[i].To} {
+			if !present[v] {
+				present[v] = true
+				nVerts++
+			}
+		}
+	}
+	// (time, seq, stage) order equals (time, VertexID) order because a
+	// VertexID is seq*NumStages+stage; pack both into one key so the sort
+	// comparator stays branch-cheap.
+	keys := make([]uint64, 0, nVerts)
+	for v := 0; v < total; v++ {
+		if present[v] {
+			keys = append(keys, uint64(g.time(VertexID(v)))<<24|uint64(v))
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	verts := make([]VertexID, len(keys))
+	for i, k := range keys {
+		verts[i] = VertexID(k & 0xffffff)
+	}
+
+	d := make([]int64, total)
+	parent := make([]int32, total) // incoming edge index, -1 none
+	for i := range parent {
+		parent[i] = -1
+	}
+
+	var bestV VertexID
+	var bestD int64 = -1
+	for _, v := range verts {
+		var dv int64
+		pe := int32(-1)
+		for _, ei := range g.in[v] {
+			e := &g.Edges[ei]
+			cand := d[e.From] + e.Cost
+			if cand > dv || (cand == dv && pe < 0) {
+				dv = cand
+				pe = ei
+			}
+		}
+		d[v] = dv
+		parent[v] = pe
+		if dv > bestD {
+			bestD, bestV = dv, v
+		}
+	}
+
+	// Reconstruct backwards from the super-sink.
+	var redges []Edge
+	var rverts []VertexID
+	v := bestV
+	for {
+		rverts = append(rverts, v)
+		pe := parent[v]
+		if pe < 0 {
+			break
+		}
+		redges = append(redges, g.Edges[pe])
+		v = g.Edges[pe].From
+	}
+	// Reverse into execution order.
+	for i, j := 0, len(rverts)-1; i < j; i, j = i+1, j-1 {
+		rverts[i], rverts[j] = rverts[j], rverts[i]
+	}
+	for i, j := 0, len(redges)-1; i < j; i, j = i+1, j-1 {
+		redges[i], redges[j] = redges[j], redges[i]
+	}
+
+	cp := &CriticalPath{Vertices: rverts, Edges: redges, Cost: bestD}
+	if len(rverts) > 0 {
+		cp.Span = g.time(rverts[len(rverts)-1]) - g.time(rverts[0])
+	}
+	return cp, nil
+}
+
+// Report is the bottleneck analysis output: each resource's contribution to
+// the total runtime (Equation 1). Contributions are fractions of the
+// critical path length L (the simulated runtime); Base is the share not
+// attributed to any reassignable resource (pipeline progress, virtual-edge
+// gaps, and the path's uncovered prefix/suffix).
+type Report struct {
+	L       int64 // total runtime in cycles
+	Contrib [uarch.NumResources]float64
+	// DelayByRes holds the absolute attributed cycles per resource.
+	DelayByRes [uarch.NumResources]int64
+	Base       float64
+	// EdgeCount counts critical-path edges attributed per resource.
+	EdgeCount [uarch.NumResources]int
+}
+
+// Analyze builds the graph, constructs the critical path, and attributes
+// every path edge's delay to its resource (Equation 1).
+func Analyze(tr *pipetrace.Trace, opts Options) (*Report, *Graph, *CriticalPath, error) {
+	g, err := Build(tr, opts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	cp, err := g.Construct()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rep := Attribute(tr, cp)
+	return rep, g, cp, nil
+}
+
+// Attribute computes Equation 1 over a constructed critical path.
+func Attribute(tr *pipetrace.Trace, cp *CriticalPath) *Report {
+	rep := &Report{L: tr.Cycles}
+	if rep.L <= 0 {
+		rep.L = 1
+	}
+	var attributed int64
+	for _, e := range cp.Edges {
+		if e.Res == uarch.ResNone {
+			continue
+		}
+		rep.DelayByRes[e.Res] += e.Delay
+		rep.EdgeCount[e.Res]++
+		attributed += e.Delay
+	}
+	for r := range rep.Contrib {
+		rep.Contrib[r] = float64(rep.DelayByRes[r]) / float64(rep.L)
+	}
+	rep.Base = 1 - float64(attributed)/float64(rep.L)
+	return rep
+}
+
+// Top returns the resources ordered by decreasing contribution, skipping
+// zero contributors.
+func (r *Report) Top() []uarch.Resource {
+	var out []uarch.Resource
+	for _, res := range uarch.Resources() {
+		if r.Contrib[res] > 0 {
+			out = append(out, res)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return r.Contrib[out[i]] > r.Contrib[out[j]]
+	})
+	return out
+}
+
+// Merge computes the weighted average report across workloads
+// (Equation 2). Weights must match reports in length; they are normalised
+// internally.
+func Merge(reports []*Report, weights []float64) (*Report, error) {
+	if len(reports) == 0 {
+		return nil, fmt.Errorf("deg: no reports to merge")
+	}
+	if weights != nil && len(weights) != len(reports) {
+		return nil, fmt.Errorf("deg: %d weights for %d reports", len(weights), len(reports))
+	}
+	var wsum float64
+	if weights == nil {
+		weights = make([]float64, len(reports))
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	for _, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("deg: negative weight %v", w)
+		}
+		wsum += w
+	}
+	if wsum == 0 {
+		return nil, fmt.Errorf("deg: zero total weight")
+	}
+	out := &Report{}
+	for i, rep := range reports {
+		w := weights[i] / wsum
+		out.L += rep.L
+		out.Base += w * rep.Base
+		for r := range rep.Contrib {
+			out.Contrib[r] += w * rep.Contrib[r]
+			out.DelayByRes[r] += rep.DelayByRes[r]
+			out.EdgeCount[r] += rep.EdgeCount[r]
+		}
+	}
+	return out, nil
+}
+
+// String renders the report as the paper's bottleneck analysis table.
+func (r *Report) String() string {
+	out := fmt.Sprintf("bottleneck report (L=%d cycles, base=%.1f%%)\n", r.L, 100*r.Base)
+	for _, res := range r.Top() {
+		out += fmt.Sprintf("  %-12s %6.2f%%  (%d edges, %d cycles)\n",
+			res, 100*r.Contrib[res], r.EdgeCount[res], r.DelayByRes[res])
+	}
+	return out
+}

@@ -1,0 +1,250 @@
+package dse
+
+import (
+	"math/rand"
+
+	"archexplorer/internal/mcpat"
+	"archexplorer/internal/uarch"
+)
+
+// ArchExplorer is the bottleneck-removal-driven explorer of Section 4.3.
+// Each walk starts from a random design whose power and area define the
+// walk's *budget envelope*. Steps probe the design with critical-path
+// analysis, grow the top-contributing (deficient) resources to the next
+// larger design-space values, and reclaim abundant (low-contribution)
+// resources — keeping the design inside the envelope, so reclaimed budget
+// pays for the bottleneck fixes ("reassigning" in the paper's terms). A
+// walk ends when performance plateaus; its best design is re-evaluated at
+// full fidelity and the explorer restarts from a fresh random envelope,
+// which spreads the exploration set across the whole power/area range.
+type ArchExplorer struct {
+	Seed int64
+	// TopK is how many top bottleneck resources are grown per step.
+	TopK int
+	// Patience is how many consecutive non-improving steps end a walk.
+	Patience int
+	// GrowThreshold is the minimum contribution for a resource to be
+	// considered a bottleneck worth growing.
+	GrowThreshold float64
+	// ShrinkThreshold is the contribution below which a resource is
+	// considered abundant and reclaimed.
+	ShrinkThreshold float64
+	// ShrinkStep is how many candidate levels an abundant resource gives
+	// back per step.
+	ShrinkStep int
+	// ReevalN is how many of a walk's best designs are re-evaluated at
+	// full fidelity when the walk ends.
+	ReevalN int
+	// EnvelopeSlack is the tolerated fractional excess over the walk's
+	// starting area and power.
+	EnvelopeSlack float64
+
+	// Ablation switches (all false in the paper's configuration).
+	NoShrink      bool // never reclaim abundant resources
+	NoProbe       bool // pay full-fidelity evaluations for every step
+	NoScreenStart bool // start walks from a single random design
+}
+
+// NewArchExplorer returns the configuration used in the experiments: grow
+// the most critical resource each step (the ablation experiment shows one
+// focused fix per probe beats broader moves), reclaim idle ones, restart
+// after three stale steps.
+func NewArchExplorer(seed int64) *ArchExplorer {
+	return &ArchExplorer{
+		Seed:            seed,
+		TopK:            1,
+		Patience:        3,
+		GrowThreshold:   0.02,
+		ShrinkThreshold: 0.01,
+		ShrinkStep:      1,
+		ReevalN:         2,
+		EnvelopeSlack:   0.02,
+	}
+}
+
+// Name implements Explorer.
+func (a *ArchExplorer) Name() string { return "ArchExplorer" }
+
+// Run implements Explorer.
+func (a *ArchExplorer) Run(ev *Evaluator, budget int) error {
+	rng := rand.New(rand.NewSource(a.Seed))
+	for ev.Sims < float64(budget) {
+		if err := a.walk(ev, rng, budget); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// walk performs one bottleneck-elimination trajectory from a random start.
+// Steps use cheap probe evaluations (Section 5.1: a short prefix of each
+// workload suffices to identify resource utilisation); the walk's best
+// designs are then re-evaluated at full fidelity, which is what enters the
+// reported exploration set.
+func (a *ArchExplorer) walk(ev *Evaluator, rng *rand.Rand, budget int) error {
+	probe := func(p uarch.Point) (*Evaluation, error) {
+		if a.NoProbe {
+			return ev.Evaluate(p, true)
+		}
+		return ev.Probe(p)
+	}
+
+	// Seed the walk from the most promising of a small probed sample (the
+	// paper initialises from sampled designs or prior knowledge). The
+	// probes are cheap and the losers still join the exploration set.
+	pt := ev.Space.Random(rng)
+	e0, err := probe(pt)
+	if err != nil {
+		return err
+	}
+	if !a.NoScreenStart {
+		for i := 0; i < 5 && ev.Sims < float64(budget); i++ {
+			cand := ev.Space.Random(rng)
+			ec, err := probe(cand)
+			if err != nil {
+				return err
+			}
+			if ec.Tradeoff() > e0.Tradeoff() {
+				pt, e0 = cand, ec
+			}
+		}
+	}
+	envArea := e0.PPA.Area * (1 + a.EnvelopeSlack)
+	envPower := e0.PPA.Power * (1 + a.EnvelopeSlack)
+
+	bestIPC := e0.PPA.Perf
+	stale := 0
+	bestPts := []uarch.Point{pt}
+
+	finish := func() error {
+		n := len(bestPts)
+		if n > a.ReevalN {
+			bestPts = bestPts[n-a.ReevalN:]
+		}
+		for _, bp := range bestPts {
+			if _, err := ev.Evaluate(bp, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Per-walk freeze set: branch predictor and cache resources stop
+	// receiving more budget once growing them fails to pay off
+	// (Section 4.3's special-casing of predictors and caches).
+	frozen := map[uarch.Resource]bool{}
+	lastGrown := map[uarch.Resource]bool{}
+
+	// Rotation state so a persistent bottleneck cycles through its
+	// parameters (e.g. BranchPred alternates global/local/BTB/RAS).
+	rot := map[uarch.Resource]int{}
+
+	e := e0
+	for ev.Sims < float64(budget) {
+		next := pt
+		changed := false
+		lastGrown = map[uarch.Resource]bool{}
+
+		// Grow the top bottlenecks.
+		grownCnt := 0
+		for _, res := range e.Report.Top() {
+			if grownCnt >= a.TopK {
+				break
+			}
+			if e.Report.Contrib[res] < a.GrowThreshold {
+				break
+			}
+			if frozen[res] || res == uarch.ResRawDep {
+				continue
+			}
+			params := uarch.ResourceParams(res)
+			if len(params) == 0 {
+				continue
+			}
+			// Step size scales with how much of the runtime the
+			// bottleneck owns: severe bottlenecks jump several candidate
+			// levels at once so a walk converges in few probes.
+			step := 1 + int(e.Report.Contrib[res]/0.12)
+			for i := 0; i < len(params); i++ {
+				p := params[(rot[res]+i)%len(params)]
+				if ev.Space.Step(&next, p, step) {
+					rot[res]++
+					changed = true
+					grownCnt++
+					lastGrown[res] = true
+					break
+				}
+			}
+		}
+
+		// Reclaim abundant resources: structures contributing (almost)
+		// nothing to the critical path give levels back, paying for the
+		// growth above. The front-end width itself is not shrunk on
+		// silence — its pressure is under-observable from the graph —
+		// but its buffers are.
+		shrinkOnce := func(threshold float64) bool {
+			if a.NoShrink {
+				return false
+			}
+			did := false
+			for _, res := range uarch.Resources() {
+				if res == uarch.ResRawDep || res == uarch.ResNone {
+					continue
+				}
+				if e.Report.Contrib[res] > threshold || lastGrown[res] {
+					continue
+				}
+				for _, p := range uarch.ResourceParams(res) {
+					if res == uarch.ResFrontend && p == uarch.ParamWidth {
+						continue
+					}
+					if ev.Space.Step(&next, p, -a.ShrinkStep) {
+						did = true
+						break
+					}
+				}
+			}
+			return did
+		}
+		if shrinkOnce(a.ShrinkThreshold) {
+			changed = true
+		}
+
+		// Enforce the walk's budget envelope analytically: keep
+		// reclaiming the quietest structures until the area fits. This
+		// is the paper's budget reassignment — growth is funded by the
+		// idle structures, not by inflating the design.
+		for mcpat.Area(ev.Space.Decode(next)) > envArea {
+			if !shrinkOnce(a.ShrinkThreshold * 4) {
+				break
+			}
+		}
+
+		if !changed || next == pt {
+			return finish() // nothing movable: restart
+		}
+		pt = next
+
+		e, err = probe(pt)
+		if err != nil {
+			return err
+		}
+		improved := e.PPA.Perf > bestIPC*1.002 && e.PPA.Power <= envPower
+		if improved {
+			bestIPC = e.PPA.Perf
+			stale = 0
+			bestPts = append(bestPts, pt)
+		} else {
+			stale++
+			for res := range lastGrown {
+				if res == uarch.ResBranchPred || res == uarch.ResICache || res == uarch.ResDCache {
+					frozen[res] = true
+				}
+			}
+		}
+		if stale >= a.Patience {
+			return finish()
+		}
+	}
+	return finish()
+}

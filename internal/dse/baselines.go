@@ -1,0 +1,264 @@
+package dse
+
+import (
+	"math/rand"
+	"sort"
+
+	"archexplorer/internal/mlkit"
+	"archexplorer/internal/uarch"
+)
+
+// RandomSearch samples uniform design points until the budget is spent.
+type RandomSearch struct{ Seed int64 }
+
+// Name implements Explorer.
+func (r *RandomSearch) Name() string { return "Random" }
+
+// Run implements Explorer.
+func (r *RandomSearch) Run(ev *Evaluator, budget int) error {
+	rng := rand.New(rand.NewSource(r.Seed))
+	for ev.Sims < float64(budget) {
+		if _, err := ev.Evaluate(ev.Space.Random(rng), false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scoreOf is the scalar objective the surrogate baselines model: the
+// paper's PPA trade-off Perf²/(Power·Area).
+func scoreOf(e *Evaluation) float64 { return e.Tradeoff() }
+
+// ---------------------------------------------------------------------------
+
+// AdaBoostDSE reproduces the AdaBoost baseline [37]: an AdaBoost.RT
+// ensemble over regression trees is trained on an upfront sampled design
+// set (the original uses orthogonal-array sampling; uniform sampling over
+// the full cross product plays that role here), then a large random
+// candidate pool is screened by the trained model and the most promising
+// designs are simulated with the remaining budget.
+type AdaBoostDSE struct {
+	Seed      int64
+	TrainFrac float64 // share of the budget spent on the training set
+	PoolSize  int     // candidates screened by the trained model
+}
+
+// NewAdaBoostDSE returns the configuration used in the experiments.
+func NewAdaBoostDSE(seed int64) *AdaBoostDSE {
+	return &AdaBoostDSE{Seed: seed, TrainFrac: 0.4, PoolSize: 2000}
+}
+
+// Name implements Explorer.
+func (a *AdaBoostDSE) Name() string { return "AdaBoost" }
+
+// Run implements Explorer.
+func (a *AdaBoostDSE) Run(ev *Evaluator, budget int) error {
+	rng := rand.New(rand.NewSource(a.Seed))
+
+	var feats [][]float64
+	var ys []float64
+	for ev.Sims < a.TrainFrac*float64(budget) {
+		e, err := ev.Evaluate(ev.Space.Random(rng), false)
+		if err != nil {
+			return err
+		}
+		feats = append(feats, ev.Features(e.Point))
+		ys = append(ys, scoreOf(e))
+	}
+
+	model := mlkit.NewAdaBoostRT()
+	model.Fit(feats, ys)
+
+	type cand struct {
+		pt    uarch.Point
+		score float64
+	}
+	pool := make([]cand, 0, a.PoolSize)
+	for i := 0; i < a.PoolSize; i++ {
+		pt := ev.Space.Random(rng)
+		pool = append(pool, cand{pt: pt, score: model.Predict(ev.Features(pt))})
+	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i].score > pool[j].score })
+
+	for i := 0; i < len(pool) && ev.Sims < float64(budget); i++ {
+		if _, err := ev.Evaluate(pool[i].pt, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+
+// BOOMExplorer reproduces the Bayesian-optimisation baseline [8]: a
+// Gaussian process models the PPA trade-off over normalised features and
+// an expected-improvement acquisition selects the next design. The initial
+// set is chosen by greedy max-min distance sampling (the original's
+// diversity-aware initialisation).
+type BOOMExplorer struct {
+	Seed     int64
+	InitN    int
+	PoolSize int
+}
+
+// NewBOOMExplorer returns the configuration used in the experiments.
+func NewBOOMExplorer(seed int64) *BOOMExplorer {
+	return &BOOMExplorer{Seed: seed, InitN: 8, PoolSize: 400}
+}
+
+// Name implements Explorer.
+func (b *BOOMExplorer) Name() string { return "BOOM-Explorer" }
+
+// Run implements Explorer.
+func (b *BOOMExplorer) Run(ev *Evaluator, budget int) error {
+	rng := rand.New(rand.NewSource(b.Seed))
+
+	// Diversity-aware initialisation: greedy max-min distance among a
+	// random pool.
+	var initPts []uarch.Point
+	pool := make([]uarch.Point, 128)
+	for i := range pool {
+		pool[i] = ev.Space.Random(rng)
+	}
+	initPts = append(initPts, pool[0])
+	for len(initPts) < b.InitN {
+		bestIdx, bestDist := -1, -1.0
+		for i, p := range pool {
+			f := ev.Features(p)
+			minD := -1.0
+			for _, q := range initPts {
+				d := sqDist(f, ev.Features(q))
+				if minD < 0 || d < minD {
+					minD = d
+				}
+			}
+			if minD > bestDist {
+				bestDist, bestIdx = minD, i
+			}
+		}
+		initPts = append(initPts, pool[bestIdx])
+	}
+
+	var feats [][]float64
+	var ys []float64
+	bestY := -1.0
+	add := func(e *Evaluation) {
+		feats = append(feats, ev.Features(e.Point))
+		y := scoreOf(e)
+		ys = append(ys, y)
+		if y > bestY {
+			bestY = y
+		}
+	}
+
+	for _, pt := range initPts {
+		if ev.Sims >= float64(budget) {
+			return nil
+		}
+		e, err := ev.Evaluate(pt, false)
+		if err != nil {
+			return err
+		}
+		add(e)
+	}
+
+	for ev.Sims < float64(budget) {
+		gp := mlkit.NewGP()
+		if err := gp.Fit(feats, ys); err != nil {
+			return err
+		}
+		var bestPt uarch.Point
+		bestEI := -1.0
+		for i := 0; i < b.PoolSize; i++ {
+			pt := ev.Space.Random(rng)
+			if ei := gp.ExpectedImprovement(ev.Features(pt), bestY); ei > bestEI {
+				bestEI, bestPt = ei, pt
+			}
+		}
+		e, err := ev.Evaluate(bestPt, false)
+		if err != nil {
+			return err
+		}
+		add(e)
+	}
+	return nil
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+
+// ArchRankerDSE reproduces the ranking baseline [12]: a pairwise model is
+// trained on an upfront simulated training set to predict which of two
+// designs is better, then the trained ranker screens a large candidate
+// pool and the predicted-best designs are simulated with the remaining
+// budget (the original trains its ranking SVMs once and explores with the
+// trained model).
+type ArchRankerDSE struct {
+	Seed      int64
+	TrainFrac float64
+	PoolSize  int
+}
+
+// NewArchRankerDSE returns the configuration used in the experiments.
+func NewArchRankerDSE(seed int64) *ArchRankerDSE {
+	return &ArchRankerDSE{Seed: seed, TrainFrac: 0.4, PoolSize: 2000}
+}
+
+// Name implements Explorer.
+func (a *ArchRankerDSE) Name() string { return "ArchRanker" }
+
+// Run implements Explorer.
+func (a *ArchRankerDSE) Run(ev *Evaluator, budget int) error {
+	rng := rand.New(rand.NewSource(a.Seed))
+
+	type obs struct {
+		f []float64
+		y float64
+	}
+	var data []obs
+	for ev.Sims < a.TrainFrac*float64(budget) {
+		e, err := ev.Evaluate(ev.Space.Random(rng), false)
+		if err != nil {
+			return err
+		}
+		data = append(data, obs{f: ev.Features(e.Point), y: scoreOf(e)})
+	}
+
+	var better, worse [][]float64
+	for i := range data {
+		for j := range data {
+			if data[i].y > data[j].y {
+				better = append(better, data[i].f)
+				worse = append(worse, data[j].f)
+			}
+		}
+	}
+	rk := mlkit.NewPairRanker(uarch.NumParams, a.Seed)
+	rk.Fit(better, worse)
+
+	type cand struct {
+		pt    uarch.Point
+		score float64
+	}
+	pool := make([]cand, 0, a.PoolSize)
+	for i := 0; i < a.PoolSize; i++ {
+		pt := ev.Space.Random(rng)
+		pool = append(pool, cand{pt: pt, score: rk.Score(ev.Features(pt))})
+	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i].score > pool[j].score })
+
+	for i := 0; i < len(pool) && ev.Sims < float64(budget); i++ {
+		if _, err := ev.Evaluate(pool[i].pt, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}

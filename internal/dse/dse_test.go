@@ -1,0 +1,250 @@
+package dse
+
+import (
+	"testing"
+
+	"archexplorer/internal/pareto"
+	"archexplorer/internal/uarch"
+	"archexplorer/internal/workload"
+)
+
+// miniSuite keeps integration tests fast: four diverse workloads.
+func miniSuite() []workload.Profile {
+	names := []string{"458.sjeng", "444.namd", "429.mcf", "462.libquantum"}
+	var out []workload.Profile
+	for _, n := range names {
+		p, err := workload.ByName(n)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func TestEvaluatorCachesAndCounts(t *testing.T) {
+	ev := NewEvaluator(uarch.StandardSpace(), miniSuite(), 2000)
+	pt := ev.Space.Nearest(uarch.Baseline())
+
+	e1, err := ev.Evaluate(pt, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Sims != float64(len(ev.Workloads)) {
+		t.Fatalf("sims = %v, want %d", ev.Sims, len(ev.Workloads))
+	}
+	e2, err := ev.Evaluate(pt, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Sims != float64(len(ev.Workloads)) {
+		t.Fatalf("cached evaluation consumed budget: sims = %v", ev.Sims)
+	}
+	if e1.PPA != e2.PPA {
+		t.Fatal("cache returned different result")
+	}
+	if len(ev.History) != 1 {
+		t.Fatalf("history length %d, want 1", len(ev.History))
+	}
+
+	// Upgrading to DEG analysis re-simulates and attaches a report.
+	e3, err := ev.Evaluate(pt, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e3.Report == nil {
+		t.Fatal("missing DEG report")
+	}
+	if len(ev.History) != 1 {
+		t.Fatalf("upgrade duplicated history: %d", len(ev.History))
+	}
+}
+
+func TestEvaluationOutputsSane(t *testing.T) {
+	ev := NewEvaluator(uarch.StandardSpace(), miniSuite(), 2000)
+	e, err := ev.Evaluate(ev.Space.Nearest(uarch.Baseline()), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.PPA.Perf <= 0 || e.PPA.Perf > 8 {
+		t.Errorf("IPC %v implausible", e.PPA.Perf)
+	}
+	if e.PPA.Power <= 0 || e.PPA.Power > 5 {
+		t.Errorf("power %v implausible", e.PPA.Power)
+	}
+	if e.PPA.Area <= 1 || e.PPA.Area > 30 {
+		t.Errorf("area %v implausible", e.PPA.Area)
+	}
+	if e.Tradeoff() <= 0 {
+		t.Error("nonpositive tradeoff")
+	}
+	if len(e.PerWorkloadIPC) != len(ev.Workloads) {
+		t.Errorf("per-workload IPC count %d", len(e.PerWorkloadIPC))
+	}
+}
+
+func runExplorer(t *testing.T, ex Explorer, budget int) *Evaluator {
+	t.Helper()
+	ev := NewEvaluator(uarch.StandardSpace(), miniSuite(), 1500)
+	if err := ex.Run(ev, budget); err != nil {
+		t.Fatalf("%s: %v", ex.Name(), err)
+	}
+	if ev.Sims < float64(budget) {
+		t.Fatalf("%s stopped early: %v/%d sims", ex.Name(), ev.Sims, budget)
+	}
+	return ev
+}
+
+func TestExplorersRespectBudget(t *testing.T) {
+	budget := 80 // 20 configs at 4 workloads each
+	for _, ex := range []Explorer{
+		NewArchExplorer(1),
+		&RandomSearch{Seed: 1},
+		NewAdaBoostDSE(1),
+		NewBOOMExplorer(1),
+		NewArchRankerDSE(1),
+	} {
+		ev := runExplorer(t, ex, budget)
+		// Budget may be exceeded by at most one in-flight config
+		// evaluation plus a finishing walk's full re-evaluations.
+		if ev.Sims > float64(budget+3*len(ev.Workloads)) {
+			t.Errorf("%s overspent: %v sims for budget %d", ex.Name(), ev.Sims, budget)
+		}
+		if len(ev.History) == 0 {
+			t.Errorf("%s produced no evaluations", ex.Name())
+		}
+	}
+}
+
+func TestArchExplorerBeatsRandomPerSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration comparison")
+	}
+	budget := 160
+	ref := pareto.Reference{Perf: 0.01, Power: 1.5, Area: 25}
+
+	hv := func(ex Explorer) float64 {
+		ev := runExplorer(t, ex, budget)
+		return pareto.Hypervolume(ev.Points(), ref)
+	}
+
+	// Average two seeds to damp noise.
+	hvArch := (hv(NewArchExplorer(1)) + hv(NewArchExplorer(2))) / 2
+	hvRand := (hv(&RandomSearch{Seed: 1}) + hv(&RandomSearch{Seed: 2})) / 2
+	t.Logf("HV arch=%.4f random=%.4f", hvArch, hvRand)
+	if hvArch <= hvRand*0.95 {
+		t.Errorf("ArchExplorer HV %.4f not better than random %.4f", hvArch, hvRand)
+	}
+}
+
+func TestProbeCheaperThanFull(t *testing.T) {
+	ev := NewEvaluator(uarch.StandardSpace(), miniSuite(), 4000)
+	pt := ev.Space.Nearest(uarch.Baseline())
+	e, err := ev.Probe(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Probe {
+		t.Fatal("probe not marked")
+	}
+	if e.Report == nil {
+		t.Fatal("probe must carry a bottleneck report")
+	}
+	wantCost := float64(len(ev.Workloads)) / float64(ev.ProbeDiv)
+	if ev.Sims < wantCost*0.9 || ev.Sims > wantCost*1.1 {
+		t.Fatalf("probe cost %.3f sims, want ~%.3f", ev.Sims, wantCost)
+	}
+	// A full evaluation of the same point is separate and full-price.
+	full, err := ev.Evaluate(pt, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Probe {
+		t.Fatal("full evaluation marked as probe")
+	}
+	if got := ev.Sims; got < wantCost+float64(len(ev.Workloads))-0.01 {
+		t.Fatalf("full evaluation undercharged: %.3f sims", got)
+	}
+	// Points() excludes probes; PointsUpTo includes them.
+	if n := len(ev.Points()); n != 1 {
+		t.Fatalf("Points() = %d, want 1 full evaluation", n)
+	}
+	if n := len(ev.PointsUpTo(1e9)); n != 2 {
+		t.Fatalf("PointsUpTo = %d, want probe + full", n)
+	}
+}
+
+func TestAblationSwitchesRun(t *testing.T) {
+	for _, mk := range []func() *ArchExplorer{
+		func() *ArchExplorer { a := NewArchExplorer(3); a.NoShrink = true; return a },
+		func() *ArchExplorer { a := NewArchExplorer(3); a.NoProbe = true; return a },
+		func() *ArchExplorer { a := NewArchExplorer(3); a.NoScreenStart = true; return a },
+	} {
+		ev := NewEvaluator(uarch.StandardSpace(), miniSuite(), 1500)
+		if err := mk().Run(ev, 40); err != nil {
+			t.Fatal(err)
+		}
+		if len(ev.History) == 0 {
+			t.Fatal("ablation variant explored nothing")
+		}
+	}
+}
+
+func TestEvaluatorFeaturesNormalized(t *testing.T) {
+	ev := NewEvaluator(uarch.StandardSpace(), miniSuite(), 1500)
+	var pt uarch.Point
+	f := ev.Features(pt)
+	for i, v := range f {
+		if v != 0 {
+			t.Fatalf("feature %d of minimum point = %v", i, v)
+		}
+	}
+	for p := 0; p < uarch.NumParams; p++ {
+		pt[p] = ev.Space.Levels(uarch.Param(p)) - 1
+	}
+	f = ev.Features(pt)
+	for i, v := range f {
+		if v != 1 {
+			t.Fatalf("feature %d of maximum point = %v", i, v)
+		}
+	}
+}
+
+func TestWorkloadPreferenceWeights(t *testing.T) {
+	// Weighting one workload to 100% must reproduce that workload's IPC
+	// as the evaluation's Perf and skew the bottleneck report toward it.
+	suite := miniSuite()
+	evU := NewEvaluator(uarch.StandardSpace(), suite, 1500)
+	pt := evU.Space.Nearest(uarch.Baseline())
+	uniform, err := evU.Evaluate(pt, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w := make([]float64, len(suite))
+	w[0] = 1 // 458.sjeng only
+	evW := NewEvaluator(uarch.StandardSpace(), suite, 1500)
+	evW.Weights = w
+	weighted, err := evW.Evaluate(pt, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := weighted.PPA.Perf - uniform.PerWorkloadIPC[0]; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("weighted perf %v, want workload 0's IPC %v", weighted.PPA.Perf, uniform.PerWorkloadIPC[0])
+	}
+	if weighted.Report == nil || uniform.Report == nil {
+		t.Fatal("missing reports")
+	}
+
+	// Bad weights rejected.
+	evBad := NewEvaluator(uarch.StandardSpace(), suite, 1500)
+	evBad.Weights = []float64{1}
+	if _, err := evBad.Evaluate(pt, false); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	evBad2 := NewEvaluator(uarch.StandardSpace(), suite, 1500)
+	evBad2.Weights = make([]float64, len(suite)) // all zero
+	if _, err := evBad2.Evaluate(pt, false); err == nil {
+		t.Fatal("zero weights accepted")
+	}
+}

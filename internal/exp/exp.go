@@ -1,0 +1,126 @@
+// Package exp is the experiment harness: one registered runner per table
+// and figure of the paper's evaluation, each of which regenerates the
+// corresponding rows/series from this repo's simulator and models. The
+// cmd/experiments binary and the repository-root benchmarks are thin
+// wrappers around this registry.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"archexplorer/internal/ooo"
+	"archexplorer/internal/pipetrace"
+	"archexplorer/internal/uarch"
+	"archexplorer/internal/workload"
+)
+
+// Options scales experiments between quick smoke runs and full
+// reproductions.
+type Options struct {
+	// TraceLen is the instruction count of each full workload evaluation.
+	TraceLen int
+	// Budget is the simulation budget for DSE experiments (in full
+	// (config, workload) simulations).
+	Budget int
+	// Seeds is how many seeds DSE comparisons average over.
+	Seeds int
+	// Samples is the design count for sampling experiments (Figure 1).
+	Samples int
+	// Fast shrinks everything for smoke tests and benchmarks.
+	Fast bool
+}
+
+// Defaults fills unset fields.
+func (o Options) Defaults() Options {
+	if o.TraceLen == 0 {
+		o.TraceLen = 4000
+	}
+	if o.Budget == 0 {
+		o.Budget = 720
+	}
+	if o.Seeds == 0 {
+		o.Seeds = 2
+	}
+	if o.Samples == 0 {
+		o.Samples = 120
+	}
+	if o.Fast {
+		o.TraceLen = 2000
+		if o.Budget > 180 {
+			o.Budget = 180
+		}
+		o.Seeds = 1
+		if o.Samples > 40 {
+			o.Samples = 40
+		}
+	}
+	return o
+}
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	Name  string
+	Paper string // which table/figure of the paper it regenerates
+	Desc  string
+	Run   func(o Options, w io.Writer) error
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.Name]; dup {
+		panic("exp: duplicate experiment " + e.Name)
+	}
+	registry[e.Name] = e
+}
+
+// Get returns a registered experiment.
+func Get(name string) (Experiment, error) {
+	e, ok := registry[name]
+	if !ok {
+		return Experiment{}, fmt.Errorf("exp: unknown experiment %q (use List)", name)
+	}
+	return e, nil
+}
+
+// List returns all experiments sorted by name.
+func List() []Experiment {
+	var out []Experiment
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// simulate runs one config on one workload and returns the trace + stats.
+func simulate(cfg uarch.Config, wl workload.Profile, n int) (*pipetrace.Trace, *ooo.Stats, error) {
+	stream, err := workload.CachedTrace(wl, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	core, err := ooo.New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return core.Run(stream)
+}
+
+// suiteByName maps "SPEC06"/"SPEC17" to workload profiles.
+func suiteByName(name string) ([]workload.Profile, error) {
+	switch name {
+	case "SPEC06":
+		return workload.Suite06(), nil
+	case "SPEC17":
+		return workload.Suite17(), nil
+	default:
+		return nil, fmt.Errorf("exp: unknown suite %q", name)
+	}
+}
+
+// lookup finds a workload profile by name.
+func lookup(name string) (workload.Profile, error) {
+	return workload.ByName(name)
+}

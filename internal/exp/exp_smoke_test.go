@@ -1,0 +1,57 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestAllExperimentsRunFast(t *testing.T) {
+	for _, e := range List() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(Options{Fast: true, Budget: 60, Samples: 20, Seeds: 1}, &buf); err != nil {
+				t.Fatalf("%s: %v", e.Name, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", e.Name)
+			}
+			t.Logf("%s: %d bytes", e.Name, buf.Len())
+		})
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	list := List()
+	if len(list) < 15 {
+		t.Fatalf("only %d experiments registered", len(list))
+	}
+	for i := 1; i < len(list); i++ {
+		if list[i-1].Name >= list[i].Name {
+			t.Fatal("List not sorted")
+		}
+	}
+	for _, e := range list {
+		if e.Paper == "" || e.Desc == "" || e.Run == nil {
+			t.Fatalf("experiment %q missing metadata", e.Name)
+		}
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+	e, err := Get("table1")
+	if err != nil || e.Name != "table1" {
+		t.Fatalf("Get(table1): %v %v", e, err)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.Defaults()
+	if o.TraceLen == 0 || o.Budget == 0 || o.Seeds == 0 || o.Samples == 0 {
+		t.Fatalf("defaults incomplete: %+v", o)
+	}
+	fast := Options{Fast: true, Budget: 10000}.Defaults()
+	if fast.Budget > 180 || fast.Seeds != 1 {
+		t.Fatalf("fast mode did not shrink: %+v", fast)
+	}
+}

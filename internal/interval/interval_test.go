@@ -1,0 +1,107 @@
+package interval
+
+import (
+	"strings"
+	"testing"
+
+	"archexplorer/internal/ooo"
+	"archexplorer/internal/pipetrace"
+	"archexplorer/internal/uarch"
+	"archexplorer/internal/workload"
+)
+
+func traceFor(t testing.TB, cfg uarch.Config, name string, n int) *pipetrace.Trace {
+	t.Helper()
+	p, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := workload.CachedTrace(p, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, err := ooo.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _, err := core.Run(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestStackAccountsEveryCycle(t *testing.T) {
+	tr := traceFor(t, uarch.Baseline(), "458.sjeng", 5000)
+	st, err := Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, v := range st.ByCause {
+		if v < 0 {
+			t.Fatal("negative cause count")
+		}
+		sum += v
+	}
+	if sum != tr.Cycles {
+		t.Fatalf("stack sums to %d, trace has %d cycles", sum, tr.Cycles)
+	}
+	if st.CPI() <= 1.0/8 {
+		t.Fatalf("implausible CPI %.3f", st.CPI())
+	}
+	t.Logf("\n%s", st)
+}
+
+func TestEmptyTraceRejected(t *testing.T) {
+	if _, err := Analyze(&pipetrace.Trace{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestMemoryBoundWorkloadShowsMemoryStalls(t *testing.T) {
+	tr := traceFor(t, uarch.Baseline(), "429.mcf", 5000)
+	st, err := Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Share(CauseMemory) < 0.10 {
+		t.Errorf("mcf memory share only %.1f%%", 100*st.Share(CauseMemory))
+	}
+}
+
+func TestRenameStallRankingMatchesStarvation(t *testing.T) {
+	poor := uarch.Baseline()
+	poor.IntRF = 40
+	tr := traceFor(t, poor, "458.sjeng", 5000)
+	st, err := Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := st.TopRenameResources()
+	if len(top) == 0 || top[0] != uarch.ResIntRF {
+		t.Fatalf("starved IntRF not the top rename staller: %v", top)
+	}
+}
+
+func TestStringRendersAllParts(t *testing.T) {
+	tr := traceFor(t, uarch.Baseline(), "456.hmmer", 3000)
+	st, err := Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := st.String()
+	for _, want := range []string{"CPI stack", "%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestCauseNames(t *testing.T) {
+	for c := Cause(0); c < Cause(NumCauses); c++ {
+		if c.String() == "" {
+			t.Fatalf("cause %d unnamed", c)
+		}
+	}
+}

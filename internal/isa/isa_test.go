@@ -1,0 +1,113 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpClassPredicates(t *testing.T) {
+	cases := []struct {
+		c                   OpClass
+		mem, float, control bool
+	}{
+		{OpIntAlu, false, false, false},
+		{OpIntMult, false, false, false},
+		{OpIntDiv, false, false, false},
+		{OpFpAlu, false, true, false},
+		{OpFpMult, false, true, false},
+		{OpFpDiv, false, true, false},
+		{OpLoad, true, false, false},
+		{OpStore, true, false, false},
+		{OpBranch, false, false, true},
+		{OpNop, false, false, false},
+	}
+	for _, tc := range cases {
+		if tc.c.IsMem() != tc.mem || tc.c.IsFloat() != tc.float || tc.c.IsControl() != tc.control {
+			t.Errorf("%s: predicates mem=%v float=%v control=%v", tc.c, tc.c.IsMem(), tc.c.IsFloat(), tc.c.IsControl())
+		}
+		if tc.c.String() == "" {
+			t.Errorf("missing name for class %d", tc.c)
+		}
+	}
+	if got := OpClass(200).String(); got != "OpClass(200)" {
+		t.Errorf("out-of-range String = %q", got)
+	}
+}
+
+func TestRegisters(t *testing.T) {
+	if !IntReg(5).Valid() || IntReg(5).Float {
+		t.Error("IntReg(5) malformed")
+	}
+	if !FpReg(7).Float {
+		t.Error("FpReg(7) not float")
+	}
+	if InvalidReg.Valid() {
+		t.Error("InvalidReg is valid")
+	}
+	if !IntReg(0).IsZero() {
+		t.Error("x0 should be zero reg")
+	}
+	if FpReg(0).IsZero() {
+		t.Error("f0 is not a zero reg")
+	}
+	if IntReg(3).String() != "x3" || FpReg(4).String() != "f4" || InvalidReg.String() != "-" {
+		t.Error("register names wrong")
+	}
+}
+
+func TestInstDestAndNextPC(t *testing.T) {
+	in := Inst{PC: 0x1000, Class: OpIntAlu, Dest: IntReg(5)}
+	if !in.HasDest() {
+		t.Error("alu with x5 dest should allocate")
+	}
+	in.Dest = IntReg(0)
+	if in.HasDest() {
+		t.Error("x0 dest must not allocate a rename register")
+	}
+	in.Dest = InvalidReg
+	if in.HasDest() {
+		t.Error("invalid dest must not allocate")
+	}
+
+	br := Inst{PC: 0x2000, Class: OpBranch, Taken: true, Target: 0x3000}
+	if br.NextPC() != 0x3000 {
+		t.Errorf("taken branch NextPC = %#x", br.NextPC())
+	}
+	br.Taken = false
+	if br.NextPC() != 0x2004 {
+		t.Errorf("not-taken branch NextPC = %#x", br.NextPC())
+	}
+	if br.FallThrough() != 0x2004 {
+		t.Errorf("FallThrough = %#x", br.FallThrough())
+	}
+}
+
+func TestNextPCNeverZeroForSequential(t *testing.T) {
+	f := func(pc uint32) bool {
+		in := Inst{PC: uint64(pc), Class: OpIntAlu}
+		return in.NextPC() == uint64(pc)+4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBranchKindString(t *testing.T) {
+	for k, want := range map[BranchKind]string{BrCond: "cond", BrJump: "jump", BrCall: "call", BrRet: "ret"} {
+		if k.String() != want {
+			t.Errorf("%v != %s", k, want)
+		}
+	}
+}
+
+func TestInstString(t *testing.T) {
+	for _, in := range []Inst{
+		{PC: 4, Class: OpLoad, Addr: 0x100, Dest: IntReg(3), Src1: IntReg(2)},
+		{PC: 8, Class: OpBranch, Taken: true, Target: 0x40},
+		{PC: 12, Class: OpFpMult, Dest: FpReg(1), Src1: FpReg(2), Src2: FpReg(3)},
+	} {
+		if in.String() == "" {
+			t.Errorf("empty String for %v", in.Class)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+// Package mcpat is the analytical power and area model standing in for
+// McPAT (the paper's Section 5.1 tooling). Structure areas follow
+// CACTI-style scaling laws — linear in capacity with superlinear port/width
+// terms — and power combines activity-based dynamic energy (driven by the
+// simulator's event counters) with leakage proportional to area.
+//
+// Absolute values are calibrated so the Table 1 baseline lands near the
+// paper's reported 0.2027 W and 5.6609 mm²; the DSE only relies on the
+// model's *relative* ordering across the design space, which the monotone
+// scaling laws guarantee (growing any structure strictly grows area and
+// leakage; activity costs grow with the structure accessed).
+package mcpat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"archexplorer/internal/ooo"
+	"archexplorer/internal/uarch"
+)
+
+// Area coefficients, mm² per unit of capacity. The width exponent models
+// the port growth of multi-issue structures.
+const (
+	areaPerROBEntry   = 0.0022
+	areaPerRFEntry    = 0.0018
+	areaPerIQEntry    = 0.0045 // CAM + wakeup logic
+	areaPerLSQEntry   = 0.0035 // address CAM
+	areaPerFetchQUop  = 0.0008
+	areaPerFetchBufB  = 0.00035
+	areaPerIntALU     = 0.065
+	areaPerIntMultDiv = 0.22
+	areaPerFpALU      = 0.30
+	areaPerFpMultDiv  = 0.42
+	areaPerRdWrPort   = 0.09
+	areaPerCacheKB    = 0.031  // L1 SRAM + tags
+	areaCacheAssoc    = 0.012  // per extra way: comparators, muxes
+	areaPerBPCounter  = 2.2e-6 // 2-bit counters
+	areaPerBTBEntry   = 7.5e-6 // tag + target
+	areaPerRASEntry   = 4.0e-5
+	areaDecodePerWay  = 0.055 // decode/rename slice per pipeline way
+	widthPortExponent = 0.75  // RF/ROB port area growth with width
+	areaFixed         = 0.40  // pervasive logic: TLBs, PC, bypass, clocking
+)
+
+// Dynamic energy coefficients in nanojoules per event, scaled by structure
+// size where capacity affects bitline/wordline energy.
+const (
+	njPerFetch       = 0.011
+	njPerDecode      = 0.004
+	njPerRenamePer64 = 0.009 // per rename, per 64 RF entries
+	njPerIssuePer32  = 0.013 // per issue, per 32 IQ entries (CAM search)
+	njPerCommit      = 0.004
+	njPerALUOp       = 0.010
+	njPerMulDivOp    = 0.036
+	njPerFpOp        = 0.030
+	njPerFpMulDivOp  = 0.048
+	njPerL1PerKB     = 0.00042 // per access, per KB of capacity
+	njPerL2Access    = 0.22
+	njPerBPLookup    = 0.0045
+	njPerMispredict  = 0.35 // squash + refill energy
+)
+
+// Leakage: watts per mm² of active silicon, and clock tree watts per
+// pipeline way.
+const (
+	leakageWPerMM2 = 0.019
+	clockWPerWay   = 0.014
+	clockFrequency = 2.0e9 // Hz; converts energy/cycle to watts
+)
+
+// Breakdown itemises area (mm²) and average power (W) per structure group.
+type Breakdown struct {
+	Name  string
+	Area  float64
+	Power float64
+}
+
+// Result carries the PPA outputs for one (config, workload) evaluation.
+type Result struct {
+	PowerW  float64
+	AreaMM2 float64
+	Items   []Breakdown
+}
+
+// Area computes the silicon area of a configuration in mm².
+func Area(cfg uarch.Config) float64 {
+	r := areaBreakdown(cfg)
+	var sum float64
+	for _, it := range r {
+		sum += it.Area
+	}
+	return sum
+}
+
+func areaBreakdown(cfg uarch.Config) []Breakdown {
+	w := math.Pow(float64(cfg.Width), widthPortExponent)
+	items := []Breakdown{
+		{Name: "Frontend", Area: float64(cfg.FetchQueueUops)*areaPerFetchQUop +
+			float64(cfg.FetchBufBytes)*areaPerFetchBufB +
+			float64(cfg.Width)*areaDecodePerWay},
+		{Name: "BranchPred", Area: float64(cfg.LocalPredictor)*areaPerBPCounter*2 +
+			float64(cfg.GlobalPredictor)*areaPerBPCounter*2 +
+			float64(cfg.BTBEntries)*areaPerBTBEntry +
+			float64(cfg.RASEntries)*areaPerRASEntry},
+		{Name: "ROB", Area: float64(cfg.ROBEntries) * areaPerROBEntry * w},
+		{Name: "IntRF", Area: float64(cfg.IntRF) * areaPerRFEntry * w},
+		{Name: "FpRF", Area: float64(cfg.FpRF) * areaPerRFEntry * w},
+		{Name: "IQ", Area: float64(cfg.IQEntries) * areaPerIQEntry * w},
+		{Name: "LQ", Area: float64(cfg.LQEntries) * areaPerLSQEntry},
+		{Name: "SQ", Area: float64(cfg.SQEntries) * areaPerLSQEntry},
+		{Name: "FUs", Area: float64(cfg.IntALU)*areaPerIntALU +
+			float64(cfg.IntMultDiv)*areaPerIntMultDiv +
+			float64(cfg.FpALU)*areaPerFpALU +
+			float64(cfg.FpMultDiv)*areaPerFpMultDiv +
+			float64(cfg.RdWrPorts)*areaPerRdWrPort},
+		{Name: "ICache", Area: float64(cfg.ICacheKB)*areaPerCacheKB +
+			float64(cfg.ICacheAssoc)*areaCacheAssoc},
+		{Name: "DCache", Area: float64(cfg.DCacheKB)*areaPerCacheKB +
+			float64(cfg.DCacheAssoc)*areaCacheAssoc},
+		{Name: "Other", Area: areaFixed},
+	}
+	return items
+}
+
+// Evaluate computes power and area for a configuration given the activity
+// counters of one simulated workload.
+func Evaluate(cfg uarch.Config, st *ooo.Stats) (Result, error) {
+	if st == nil || st.Cycles == 0 {
+		return Result{}, fmt.Errorf("mcpat: missing or empty statistics")
+	}
+	items := areaBreakdown(cfg)
+	var area float64
+	for _, it := range items {
+		area += it.Area
+	}
+
+	cycles := float64(st.Cycles)
+	// Dynamic energy per structure group, in nanojoules.
+	dyn := map[string]float64{
+		"Frontend": float64(st.Fetched)*njPerFetch + float64(st.Fetched)*njPerDecode +
+			float64(st.Committed)*njPerCommit,
+		"BranchPred": float64(st.BranchLookups)*njPerBPLookup +
+			float64(st.Mispredicts)*njPerMispredict,
+		"ROB":   float64(st.Committed) * njPerCommit,
+		"IntRF": float64(st.RenameOps) * njPerRenamePer64 * float64(cfg.IntRF) / 64,
+		"FpRF":  float64(st.RenameOps) * njPerRenamePer64 * float64(cfg.FpRF) / 64 * 0.4,
+		"IQ":    float64(sumIssues(st)) * njPerIssuePer32 * float64(cfg.IQEntries) / 32,
+		"LQ":    float64(st.IssuedPerFU[uarch.ResIntALU]) * 0.001,
+		"SQ":    float64(st.IssuedPerFU[uarch.ResIntALU]) * 0.001,
+		"FUs": float64(st.IssuedPerFU[uarch.ResIntALU])*njPerALUOp +
+			float64(st.IssuedPerFU[uarch.ResIntMultDiv])*njPerMulDivOp +
+			float64(st.IssuedPerFU[uarch.ResFpALU])*njPerFpOp +
+			float64(st.IssuedPerFU[uarch.ResFpMultDiv])*njPerFpMulDivOp,
+		"ICache": float64(st.ICacheAccesses)*njPerL1PerKB*float64(cfg.ICacheKB) +
+			float64(st.ICacheMisses)*njPerL2Access,
+		"DCache": float64(st.DCacheAccesses)*njPerL1PerKB*float64(cfg.DCacheKB) +
+			float64(st.DCacheMisses)*njPerL2Access,
+		"Other": float64(st.L2Accesses) * njPerL2Access,
+	}
+
+	res := Result{AreaMM2: area}
+	for _, it := range items {
+		// watts = (nJ / cycle) * 1e-9 * f  + leakage + clock share
+		dp := dyn[it.Name] / cycles * 1e-9 * clockFrequency
+		lp := it.Area * leakageWPerMM2
+		if it.Name == "Frontend" {
+			lp += float64(cfg.Width) * clockWPerWay
+		}
+		res.Items = append(res.Items, Breakdown{Name: it.Name, Area: it.Area, Power: dp + lp})
+		res.PowerW += dp + lp
+	}
+	sort.Slice(res.Items, func(i, j int) bool { return res.Items[i].Power > res.Items[j].Power })
+	return res, nil
+}
+
+func sumIssues(st *ooo.Stats) uint64 {
+	var n uint64
+	for _, v := range st.IssuedPerFU {
+		n += v
+	}
+	return n
+}
+
+// PPA is the scalar trade-off metric the paper reports:
+// Perf²/(Power·Area), with Perf measured as IPC.
+func PPA(ipc, powerW, areaMM2 float64) float64 {
+	if powerW <= 0 || areaMM2 <= 0 {
+		return 0
+	}
+	return ipc * ipc / (powerW * areaMM2)
+}

@@ -1,0 +1,144 @@
+package mcpat
+
+import (
+	"testing"
+
+	"archexplorer/internal/ooo"
+	"archexplorer/internal/uarch"
+	"archexplorer/internal/workload"
+)
+
+func baselineStats(t testing.TB, cfg uarch.Config) *ooo.Stats {
+	t.Helper()
+	p, err := workload.ByName("458.sjeng")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := workload.CachedTrace(p, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, err := ooo.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := core.Run(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestBaselineCalibration(t *testing.T) {
+	cfg := uarch.Baseline()
+	st := baselineStats(t, cfg)
+	res, err := Evaluate(cfg, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("baseline: area=%.4f mm^2 power=%.4f W (paper: 5.6609 / 0.2027)", res.AreaMM2, res.PowerW)
+	if res.AreaMM2 < 2 || res.AreaMM2 > 12 {
+		t.Errorf("area %.3f far from paper's 5.66", res.AreaMM2)
+	}
+	if res.PowerW < 0.05 || res.PowerW > 0.8 {
+		t.Errorf("power %.3f far from paper's 0.20", res.PowerW)
+	}
+}
+
+func TestAreaMonotoneInEveryParameter(t *testing.T) {
+	s := uarch.StandardSpace()
+	base := s.Nearest(uarch.Baseline()) // Table 1 baseline is off-grid (ROB=50)
+	a0 := Area(s.Decode(base))
+	for p := uarch.Param(0); p < uarch.Param(uarch.NumParams); p++ {
+		pt := base
+		if !s.Step(&pt, p, 1) {
+			continue
+		}
+		if a1 := Area(s.Decode(pt)); a1 <= a0 {
+			t.Errorf("area not increasing in %s: %.4f -> %.4f", p, a0, a1)
+		}
+	}
+}
+
+func TestBreakdownSumsToTotals(t *testing.T) {
+	cfg := uarch.Baseline()
+	st := baselineStats(t, cfg)
+	res, err := Evaluate(cfg, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var area, power float64
+	for _, it := range res.Items {
+		if it.Area < 0 || it.Power < 0 {
+			t.Fatalf("negative breakdown entry %+v", it)
+		}
+		area += it.Area
+		power += it.Power
+	}
+	if d := area - res.AreaMM2; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("breakdown area %v != total %v", area, res.AreaMM2)
+	}
+	if d := power - res.PowerW; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("breakdown power %v != total %v", power, res.PowerW)
+	}
+}
+
+func TestPowerGrowsWithCapacityAtFixedActivity(t *testing.T) {
+	cfg := uarch.Baseline()
+	st := baselineStats(t, cfg)
+	base, err := Evaluate(cfg, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := cfg
+	big.IntRF = 200
+	big.IQEntries = 80
+	grown, err := Evaluate(big, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.PowerW <= base.PowerW {
+		t.Fatalf("bigger structures with equal activity must cost power: %v vs %v",
+			grown.PowerW, base.PowerW)
+	}
+	if grown.AreaMM2 <= base.AreaMM2 {
+		t.Fatal("bigger structures must cost area")
+	}
+}
+
+func TestEvaluateRejectsEmptyStats(t *testing.T) {
+	if _, err := Evaluate(uarch.Baseline(), nil); err == nil {
+		t.Fatal("nil stats accepted")
+	}
+	if _, err := Evaluate(uarch.Baseline(), &ooo.Stats{}); err == nil {
+		t.Fatal("zero-cycle stats accepted")
+	}
+}
+
+func TestPPAFunction(t *testing.T) {
+	if got := PPA(2, 0.5, 4); got != 2.0 {
+		t.Fatalf("PPA(2,0.5,4) = %v, want 2", got)
+	}
+	if PPA(1, 0, 5) != 0 || PPA(1, 5, 0) != 0 {
+		t.Fatal("degenerate denominators must yield 0")
+	}
+}
+
+func TestHigherActivityCostsMorePower(t *testing.T) {
+	cfg := uarch.Baseline()
+	st := baselineStats(t, cfg)
+	busy := *st
+	busy.DCacheMisses *= 4
+	busy.Mispredicts *= 4
+	lazy, err := Evaluate(cfg, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, err := Evaluate(cfg, &busy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.PowerW <= lazy.PowerW {
+		t.Fatalf("more misses/mispredicts must cost power: %v vs %v", hot.PowerW, lazy.PowerW)
+	}
+}

@@ -1,0 +1,125 @@
+package mlkit
+
+import (
+	"fmt"
+	"math"
+)
+
+// GP is a Gaussian-process regressor with an RBF (squared-exponential)
+// kernel over normalised feature vectors — the surrogate model of
+// BOOM-Explorer's Bayesian optimisation.
+type GP struct {
+	LengthScale float64 // kernel length scale (in normalised feature units)
+	SignalVar   float64 // kernel variance
+	NoiseVar    float64 // observation noise added to the diagonal
+
+	x     [][]float64
+	alpha []float64
+	chol  *Matrix
+	mean  float64
+}
+
+// NewGP constructs a GP with reasonable defaults for features scaled to
+// [0,1] per dimension.
+func NewGP() *GP {
+	return &GP{LengthScale: 0.35, SignalVar: 1.0, NoiseVar: 1e-4}
+}
+
+func (g *GP) kernel(a, b []float64) float64 {
+	var d2 float64
+	for i := range a {
+		d := a[i] - b[i]
+		d2 += d * d
+	}
+	return g.SignalVar * math.Exp(-d2/(2*g.LengthScale*g.LengthScale))
+}
+
+// Fit conditions the GP on observations (x, y). Targets are centred
+// internally. Jitter is added progressively if the kernel matrix is close
+// to singular (duplicate points).
+func (g *GP) Fit(x [][]float64, y []float64) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return fmt.Errorf("mlkit: GP fit with %d inputs, %d targets", len(x), len(y))
+	}
+	n := len(x)
+	g.x = x
+	g.mean = 0
+	for _, v := range y {
+		g.mean += v
+	}
+	g.mean /= float64(n)
+
+	yc := make([]float64, n)
+	for i, v := range y {
+		yc[i] = v - g.mean
+	}
+
+	jitter := g.NoiseVar
+	for attempt := 0; attempt < 8; attempt++ {
+		k := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				v := g.kernel(x[i], x[j])
+				if i == j {
+					v += jitter
+				}
+				k.Set(i, j, v)
+				k.Set(j, i, v)
+			}
+		}
+		l, err := Cholesky(k)
+		if err != nil {
+			jitter *= 10
+			continue
+		}
+		g.chol = l
+		g.alpha = SolveCholesky(l, yc)
+		return nil
+	}
+	return fmt.Errorf("mlkit: GP kernel matrix not positive definite after jitter escalation")
+}
+
+// Predict returns the posterior mean and variance at q.
+func (g *GP) Predict(q []float64) (mean, variance float64) {
+	if g.chol == nil {
+		return g.mean, g.SignalVar
+	}
+	n := len(g.x)
+	ks := make([]float64, n)
+	for i := range g.x {
+		ks[i] = g.kernel(q, g.x[i])
+	}
+	mean = g.mean + Dot(ks, g.alpha)
+	// v = L^{-1} ks via forward substitution.
+	v := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := ks[i]
+		for k := 0; k < i; k++ {
+			sum -= g.chol.At(i, k) * v[k]
+		}
+		v[i] = sum / g.chol.At(i, i)
+	}
+	variance = g.kernel(q, q) - Dot(v, v)
+	if variance < 1e-12 {
+		variance = 1e-12
+	}
+	return mean, variance
+}
+
+// ExpectedImprovement computes EI of maximising beyond best at query q.
+func (g *GP) ExpectedImprovement(q []float64, best float64) float64 {
+	mu, va := g.Predict(q)
+	sigma := math.Sqrt(va)
+	if sigma < 1e-12 {
+		if mu > best {
+			return mu - best
+		}
+		return 0
+	}
+	z := (mu - best) / sigma
+	return (mu-best)*normCDF(z) + sigma*normPDF(z)
+}
+
+func normPDF(z float64) float64 { return math.Exp(-z*z/2) / math.Sqrt(2*math.Pi) }
+
+func normCDF(z float64) float64 { return 0.5 * math.Erfc(-z/math.Sqrt2) }

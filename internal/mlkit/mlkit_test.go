@@ -1,0 +1,230 @@
+package mlkit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCholeskyRoundTrip(t *testing.T) {
+	// A = B Bᵀ + n I is SPD for random B.
+	rng := rand.New(rand.NewSource(3))
+	n := 8
+	b := NewMatrix(n, n)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += b.At(i, k) * b.At(j, k)
+			}
+			if i == j {
+				s += float64(n)
+			}
+			a.Set(i, j, s)
+		}
+	}
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check L Lᵀ == A.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k <= min(i, j); k++ {
+				s += l.At(i, k) * l.At(j, k)
+			}
+			if math.Abs(s-a.At(i, j)) > 1e-9 {
+				t.Fatalf("LLt[%d,%d]=%v, A=%v", i, j, s, a.At(i, j))
+			}
+		}
+	}
+	// Solve against a known x.
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	rhs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			rhs[i] += a.At(i, j) * x[j]
+		}
+	}
+	got := SolveCholesky(l, rhs)
+	for i := range x {
+		if math.Abs(got[i]-x[i]) > 1e-8 {
+			t.Fatalf("solve[%d]=%v, want %v", i, got[i], x[i])
+		}
+	}
+}
+
+func TestCholeskyRejectsNonSPD(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, -1)
+	if _, err := Cholesky(a); err == nil {
+		t.Fatal("expected error for indefinite matrix")
+	}
+	r := NewMatrix(2, 3)
+	if _, err := Cholesky(r); err == nil {
+		t.Fatal("expected error for non-square matrix")
+	}
+}
+
+func TestGPInterpolatesTrainingPoints(t *testing.T) {
+	x := [][]float64{{0}, {0.25}, {0.5}, {0.75}, {1}}
+	y := []float64{0, 1, 0, -1, 0}
+	gp := NewGP()
+	if err := gp.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		mu, va := gp.Predict(x[i])
+		if math.Abs(mu-y[i]) > 0.05 {
+			t.Errorf("GP at training point %v: mean %v want %v", x[i], mu, y[i])
+		}
+		if va < 0 {
+			t.Errorf("negative variance %v", va)
+		}
+	}
+	// Far from data, variance must grow.
+	_, vNear := gp.Predict([]float64{0.5})
+	_, vFar := gp.Predict([]float64{3})
+	if vFar <= vNear {
+		t.Errorf("variance should grow away from data: near %v far %v", vNear, vFar)
+	}
+}
+
+func TestGPHandlesDuplicatePoints(t *testing.T) {
+	x := [][]float64{{0.3}, {0.3}, {0.7}}
+	y := []float64{1, 1, 2}
+	gp := NewGP()
+	if err := gp.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	mu, _ := gp.Predict([]float64{0.3})
+	if math.Abs(mu-1) > 0.1 {
+		t.Fatalf("duplicate-point mean %v, want ~1", mu)
+	}
+}
+
+func TestExpectedImprovementProperties(t *testing.T) {
+	gp := NewGP()
+	if err := gp.Fit([][]float64{{0}, {1}}, []float64{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	// EI is non-negative everywhere.
+	f := func(q float64) bool {
+		return gp.ExpectedImprovement([]float64{math.Mod(math.Abs(q), 2)}, 1.0) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// EI near an unexplored promising region exceeds EI at the known best.
+	eiKnown := gp.ExpectedImprovement([]float64{1}, 1.0)
+	eiNew := gp.ExpectedImprovement([]float64{1.6}, 1.0)
+	if eiNew <= eiKnown {
+		t.Errorf("EI should favour unexplored region: new %v vs known %v", eiNew, eiKnown)
+	}
+}
+
+func TestRegressionTreeFitsStep(t *testing.T) {
+	var x [][]float64
+	var y, w []float64
+	for i := 0; i < 100; i++ {
+		v := float64(i) / 100
+		x = append(x, []float64{v})
+		if v < 0.5 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 5)
+		}
+		w = append(w, 1)
+	}
+	tree := FitTree(x, y, w, 3, 2)
+	if p := tree.Predict([]float64{0.2}); math.Abs(p-1) > 0.01 {
+		t.Fatalf("left leaf %v, want 1", p)
+	}
+	if p := tree.Predict([]float64{0.9}); math.Abs(p-5) > 0.01 {
+		t.Fatalf("right leaf %v, want 5", p)
+	}
+}
+
+func TestAdaBoostRTImprovesOverSingleTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var x [][]float64
+	var y []float64
+	target := func(q []float64) float64 {
+		return math.Sin(4*q[0]) + 0.5*q[1]*q[1] + q[0]*q[1]
+	}
+	for i := 0; i < 300; i++ {
+		q := []float64{rng.Float64(), rng.Float64()}
+		x = append(x, q)
+		y = append(y, target(q))
+	}
+	ens := NewAdaBoostRT()
+	ens.Fit(x, y)
+
+	w := make([]float64, len(x))
+	for i := range w {
+		w[i] = 1
+	}
+	single := FitTree(x, y, w, 4, 2)
+
+	var errEns, errSingle float64
+	for i := 0; i < 200; i++ {
+		q := []float64{rng.Float64(), rng.Float64()}
+		want := target(q)
+		errEns += math.Abs(ens.Predict(q) - want)
+		errSingle += math.Abs(single.Predict(q) - want)
+	}
+	if errEns > errSingle*1.1 {
+		t.Errorf("boosted error %v worse than single tree %v", errEns, errSingle)
+	}
+}
+
+func TestPairRankerLearnsLinearOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	truth := []float64{2, -1, 0.5}
+	score := func(x []float64) float64 { return Dot(truth, x) }
+
+	var better, worse [][]float64
+	for i := 0; i < 400; i++ {
+		a := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		b := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		if score(a) > score(b) {
+			better = append(better, a)
+			worse = append(worse, b)
+		} else {
+			better = append(better, b)
+			worse = append(worse, a)
+		}
+	}
+	r := NewPairRanker(3, 1)
+	r.Fit(better, worse)
+
+	correct := 0
+	const trials = 500
+	for i := 0; i < trials; i++ {
+		a := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		b := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		if r.Prefer(a, b) == (score(a) > score(b)) {
+			correct++
+		}
+	}
+	if acc := float64(correct) / trials; acc < 0.9 {
+		t.Fatalf("ranker accuracy %.2f, want >= 0.9", acc)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

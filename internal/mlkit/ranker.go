@@ -1,0 +1,75 @@
+package mlkit
+
+import (
+	"math"
+	"math/rand"
+)
+
+// PairRanker is ArchRanker's pairwise comparison model: given two designs'
+// feature vectors it predicts which achieves the better objective. The
+// original uses ranking SVMs; we train the equivalent linear model on
+// feature differences with logistic loss and SGD, which preserves the
+// method's behaviour (a learned linear ordering over designs) without an
+// external solver.
+type PairRanker struct {
+	W     []float64
+	Epoch int
+	LR    float64
+	rng   *rand.Rand
+}
+
+// NewPairRanker builds an untrained ranker for nFeat-dimensional designs.
+func NewPairRanker(nFeat int, seed int64) *PairRanker {
+	return &PairRanker{
+		W:     make([]float64, nFeat),
+		Epoch: 60,
+		LR:    0.5,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Fit trains on pairs: better[i] is preferred over worse[i].
+func (r *PairRanker) Fit(better, worse [][]float64) {
+	n := len(better)
+	if n == 0 {
+		return
+	}
+	for e := 0; e < r.Epoch; e++ {
+		for k := 0; k < n; k++ {
+			i := r.rng.Intn(n)
+			// Logistic loss on the difference vector.
+			var s float64
+			for f := range r.W {
+				s += r.W[f] * (better[i][f] - worse[i][f])
+			}
+			// gradient of log(1+exp(-s))
+			g := -1.0 / (1.0 + exp(s))
+			for f := range r.W {
+				r.W[f] -= r.LR * g * (better[i][f] - worse[i][f])
+			}
+		}
+	}
+}
+
+// Score orders designs: higher scores are predicted better.
+func (r *PairRanker) Score(x []float64) float64 {
+	var s float64
+	for f := range r.W {
+		s += r.W[f] * x[f]
+	}
+	return s
+}
+
+// Prefer reports whether a is predicted better than b.
+func (r *PairRanker) Prefer(a, b []float64) bool { return r.Score(a) > r.Score(b) }
+
+func exp(x float64) float64 {
+	// Clamp to avoid overflow in the logistic gradient.
+	if x > 30 {
+		x = 30
+	}
+	if x < -30 {
+		x = -30
+	}
+	return math.Exp(x)
+}

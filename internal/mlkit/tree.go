@@ -1,0 +1,246 @@
+package mlkit
+
+import (
+	"math"
+	"sort"
+)
+
+// TreeNode is one node of a CART regression tree.
+type TreeNode struct {
+	Feature   int     // split feature (-1 for leaves)
+	Threshold float64 // go left when x[Feature] <= Threshold
+	Value     float64 // leaf prediction
+	Left      *TreeNode
+	Right     *TreeNode
+}
+
+// RegressionTree is a depth-limited CART tree fitted with weighted
+// variance reduction — the weak learner of AdaBoost.RT.
+type RegressionTree struct {
+	Root     *TreeNode
+	MaxDepth int
+	MinLeaf  int
+}
+
+// FitTree builds a regression tree on weighted samples.
+func FitTree(x [][]float64, y, w []float64, maxDepth, minLeaf int) *RegressionTree {
+	t := &RegressionTree{MaxDepth: maxDepth, MinLeaf: minLeaf}
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.Root = t.build(x, y, w, idx, 0)
+	return t
+}
+
+func weightedMean(y, w []float64, idx []int) float64 {
+	var sw, swy float64
+	for _, i := range idx {
+		sw += w[i]
+		swy += w[i] * y[i]
+	}
+	if sw == 0 {
+		return 0
+	}
+	return swy / sw
+}
+
+func (t *RegressionTree) build(x [][]float64, y, w []float64, idx []int, depth int) *TreeNode {
+	node := &TreeNode{Feature: -1, Value: weightedMean(y, w, idx)}
+	if depth >= t.MaxDepth || len(idx) < 2*t.MinLeaf {
+		return node
+	}
+
+	bestGain := 0.0
+	bestFeat, bestThresh := -1, 0.0
+	nFeat := len(x[idx[0]])
+
+	// Parent weighted SSE.
+	parentMean := node.Value
+	var parentSSE, sw float64
+	for _, i := range idx {
+		d := y[i] - parentMean
+		parentSSE += w[i] * d * d
+		sw += w[i]
+	}
+	if parentSSE <= 1e-12 {
+		return node
+	}
+
+	order := make([]int, len(idx))
+	for f := 0; f < nFeat; f++ {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return x[order[a]][f] < x[order[b]][f] })
+
+		// Incremental weighted split scan.
+		var lw, lwy, lwy2 float64
+		var rw, rwy, rwy2 float64
+		for _, i := range order {
+			rw += w[i]
+			rwy += w[i] * y[i]
+			rwy2 += w[i] * y[i] * y[i]
+		}
+		for k := 0; k < len(order)-1; k++ {
+			i := order[k]
+			lw += w[i]
+			lwy += w[i] * y[i]
+			lwy2 += w[i] * y[i] * y[i]
+			rw -= w[i]
+			rwy -= w[i] * y[i]
+			rwy2 -= w[i] * y[i] * y[i]
+			if k+1 < t.MinLeaf || len(order)-k-1 < t.MinLeaf {
+				continue
+			}
+			xv, xn := x[order[k]][f], x[order[k+1]][f]
+			if xv == xn {
+				continue
+			}
+			sseL := lwy2 - lwy*lwy/math.Max(lw, 1e-12)
+			sseR := rwy2 - rwy*rwy/math.Max(rw, 1e-12)
+			gain := parentSSE - sseL - sseR
+			if gain > bestGain {
+				bestGain = gain
+				bestFeat = f
+				bestThresh = (xv + xn) / 2
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return node
+	}
+
+	var li, ri []int
+	for _, i := range idx {
+		if x[i][bestFeat] <= bestThresh {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	if len(li) == 0 || len(ri) == 0 {
+		return node
+	}
+	node.Feature = bestFeat
+	node.Threshold = bestThresh
+	node.Left = t.build(x, y, w, li, depth+1)
+	node.Right = t.build(x, y, w, ri, depth+1)
+	return node
+}
+
+// Predict evaluates the tree at q.
+func (t *RegressionTree) Predict(q []float64) float64 {
+	n := t.Root
+	for n.Feature >= 0 {
+		if q[n.Feature] <= n.Threshold {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n.Value
+}
+
+// AdaBoostRT is the AdaBoost.RT regression ensemble (Solomatine & Shrestha)
+// used by the AdaBoost DSE baseline: weak regression trees are boosted with
+// a relative-error threshold phi; samples whose relative error exceeds phi
+// get up-weighted.
+type AdaBoostRT struct {
+	Phi      float64 // relative error threshold (paper setting ~0.1..0.3)
+	Rounds   int
+	MaxDepth int
+	trees    []*RegressionTree
+	betas    []float64
+}
+
+// NewAdaBoostRT constructs an ensemble with typical settings.
+func NewAdaBoostRT() *AdaBoostRT {
+	return &AdaBoostRT{Phi: 0.2, Rounds: 12, MaxDepth: 4}
+}
+
+// Fit trains the ensemble.
+func (a *AdaBoostRT) Fit(x [][]float64, y []float64) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	a.trees = a.trees[:0]
+	a.betas = a.betas[:0]
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1.0 / float64(n)
+	}
+	for r := 0; r < a.Rounds; r++ {
+		tree := FitTree(x, y, w, a.MaxDepth, 2)
+		// Error rate: total weight of samples with relative error > phi.
+		var errRate float64
+		rel := make([]float64, n)
+		for i := range x {
+			pred := tree.Predict(x[i])
+			denom := math.Abs(y[i])
+			if denom < 1e-9 {
+				denom = 1e-9
+			}
+			rel[i] = math.Abs(pred-y[i]) / denom
+			if rel[i] > a.Phi {
+				errRate += w[i]
+			}
+		}
+		if errRate >= 0.5 {
+			break // weak learner no longer better than chance
+		}
+		beta := math.Pow(errRate, 2)
+		if beta < 1e-9 {
+			beta = 1e-9
+		}
+		a.trees = append(a.trees, tree)
+		a.betas = append(a.betas, beta)
+		// Reweight: correct samples down-weighted by beta.
+		var sum float64
+		for i := range w {
+			if rel[i] <= a.Phi {
+				w[i] *= beta
+			}
+			sum += w[i]
+		}
+		for i := range w {
+			w[i] /= sum
+		}
+		if errRate == 0 {
+			break
+		}
+	}
+	if len(a.trees) == 0 {
+		// Degenerate data: keep a single unweighted tree.
+		uw := make([]float64, n)
+		for i := range uw {
+			uw[i] = 1
+		}
+		a.trees = append(a.trees, FitTree(x, y, uw, a.MaxDepth, 2))
+		a.betas = append(a.betas, 1)
+	}
+}
+
+// Predict returns the log(1/beta)-weighted median of the trees'
+// predictions, AdaBoost.RT's combination rule.
+func (a *AdaBoostRT) Predict(q []float64) float64 {
+	if len(a.trees) == 0 {
+		return 0
+	}
+	type pw struct{ p, w float64 }
+	ps := make([]pw, len(a.trees))
+	var totalW float64
+	for i, t := range a.trees {
+		wt := math.Log(1 / a.betas[i])
+		ps[i] = pw{p: t.Predict(q), w: wt}
+		totalW += wt
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].p < ps[j].p })
+	var acc float64
+	for _, v := range ps {
+		acc += v.w
+		if acc >= totalW/2 {
+			return v.p
+		}
+	}
+	return ps[len(ps)-1].p
+}

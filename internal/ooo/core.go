@@ -1,0 +1,484 @@
+package ooo
+
+import (
+	"fmt"
+
+	"archexplorer/internal/bpred"
+	"archexplorer/internal/cache"
+	"archexplorer/internal/isa"
+	"archexplorer/internal/pipetrace"
+	"archexplorer/internal/uarch"
+)
+
+// Execution latencies (cycles) per operation class, and whether the unit is
+// pipelined (occupancy 1) or blocking (occupancy = latency).
+type fuSpec struct {
+	lat       int64
+	pipelined bool
+	res       uarch.Resource
+}
+
+var fuTable = map[isa.OpClass]fuSpec{
+	isa.OpIntAlu:  {lat: 1, pipelined: true, res: uarch.ResIntALU},
+	isa.OpBranch:  {lat: 1, pipelined: true, res: uarch.ResIntALU},
+	isa.OpNop:     {lat: 1, pipelined: true, res: uarch.ResIntALU},
+	isa.OpIntMult: {lat: 3, pipelined: true, res: uarch.ResIntMultDiv},
+	isa.OpIntDiv:  {lat: 20, pipelined: false, res: uarch.ResIntMultDiv},
+	isa.OpFpAlu:   {lat: 2, pipelined: true, res: uarch.ResFpALU},
+	isa.OpFpMult:  {lat: 4, pipelined: true, res: uarch.ResFpMultDiv},
+	isa.OpFpDiv:   {lat: 24, pipelined: false, res: uarch.ResFpMultDiv},
+	// Loads/stores compute the address on an ALU-like AGU slot modelled
+	// inside the memory path; their fuTable entry covers the AGU.
+	isa.OpLoad:  {lat: 1, pipelined: true, res: uarch.ResIntALU},
+	isa.OpStore: {lat: 1, pipelined: true, res: uarch.ResIntALU},
+}
+
+// redirectPenalty is the front-end refill delay after a misprediction
+// squash, on top of waiting for the branch to resolve.
+const redirectPenalty = 3
+
+// Stats aggregates the activity counters the power model consumes.
+type Stats struct {
+	Cycles                       int64
+	Committed                    uint64
+	Fetched                      uint64
+	FetchGroups                  uint64
+	RenameOps                    uint64
+	IssuedPerFU                  [uarch.NumResources]uint64
+	BranchLookups, Mispredicts   uint64
+	ICacheAccesses, ICacheMisses uint64
+	DCacheAccesses, DCacheMisses uint64
+	L2Accesses, L2Misses         uint64
+	StoreForwards                uint64
+	RenameStalls                 [uarch.NumResources]uint64 // instructions stalled per resource
+}
+
+// IPC returns the committed instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// MispredictRate returns mispredictions per branch lookup.
+func (s *Stats) MispredictRate() float64 {
+	if s.BranchLookups == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.BranchLookups)
+}
+
+// Core simulates one design point.
+type Core struct {
+	cfg  uarch.Config
+	pred *bpred.Predictor
+	hier *cache.Hierarchy
+
+	// Program-order stage trackers.
+	fetchBW, decodeBW, renameBW, dispatchBW, commitBW *inorderBW
+	issueBW                                           *bwRing
+
+	// Capacity pools.
+	rob, iq, lq, sq, fq *capPool
+	intRF, fpRF         *capPool
+
+	// Execution units.
+	fus   map[uarch.Resource]*unitPool
+	ports *unitPool
+
+	// Register scoreboard: when each architectural register's latest value
+	// is ready and who produces it.
+	intReady, fpReady [isa.NumIntArchRegs]int64
+	intProd, fpProd   [isa.NumIntArchRegs]int
+
+	// In-flight store tracking for forwarding: address -> producing store.
+	storeBuf map[uint64]storeEntry
+
+	lastF, lastDC, lastR, lastDP, lastC int64
+
+	// Fetch-group state.
+	groupLeft    int
+	groupF1      int64
+	groupF2      int64
+	groupLat     int64
+	nextFetch    int64    // earliest F1 of the next group
+	groupDrain   [2]int64 // F time of the last instruction of the previous two groups
+	refillFrom   int      // mispredicted branch seq that gates the next fetch, or -1
+	maxGroupSize int
+	// pendingRedirectSeq is the mispredicted branch whose resolution will
+	// release the stalled front end (-1 when the front end is healthy).
+	pendingRedirectSeq int
+
+	stats Stats
+}
+
+type storeEntry struct {
+	seq    int
+	pReady int64 // when the store's data is available for forwarding
+	commit int64 // commit cycle (forwarding window end)
+}
+
+// New builds a core for the given configuration.
+func New(cfg uarch.Config) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pred, err := bpred.New(bpred.Config{
+		LocalEntries:  cfg.LocalPredictor,
+		GlobalEntries: cfg.GlobalPredictor,
+		BTBEntries:    cfg.BTBEntries,
+		RASEntries:    cfg.RASEntries,
+	})
+	if err != nil {
+		return nil, err
+	}
+	hier, err := cache.NewHierarchy(
+		cache.Config{SizeKB: cfg.ICacheKB, Assoc: cfg.ICacheAssoc},
+		cache.Config{SizeKB: cfg.DCacheKB, Assoc: cfg.DCacheAssoc},
+	)
+	if err != nil {
+		return nil, err
+	}
+	c := &Core{
+		cfg:                cfg,
+		pred:               pred,
+		hier:               hier,
+		fetchBW:            newInorderBW(cfg.Width),
+		decodeBW:           newInorderBW(cfg.Width),
+		renameBW:           newInorderBW(cfg.Width),
+		dispatchBW:         newInorderBW(cfg.Width),
+		commitBW:           newInorderBW(cfg.Width),
+		issueBW:            newBWRing(cfg.Width, 17),
+		rob:                newCapPool(cfg.ROBEntries),
+		iq:                 newCapPool(cfg.IQEntries),
+		lq:                 newCapPool(cfg.LQEntries),
+		sq:                 newCapPool(cfg.SQEntries),
+		fq:                 newCapPool(cfg.FetchQueueUops),
+		intRF:              newCapPool(cfg.IntRF - isa.NumIntArchRegs),
+		fpRF:               newCapPool(cfg.FpRF - isa.NumFpArchRegs),
+		ports:              newUnitPool(cfg.RdWrPorts),
+		storeBuf:           make(map[uint64]storeEntry),
+		refillFrom:         -1,
+		pendingRedirectSeq: -1,
+		groupDrain:         [2]int64{-1, -1},
+		fus: map[uarch.Resource]*unitPool{
+			uarch.ResIntALU:     newUnitPool(cfg.IntALU),
+			uarch.ResIntMultDiv: newUnitPool(cfg.IntMultDiv),
+			uarch.ResFpALU:      newUnitPool(cfg.FpALU),
+			uarch.ResFpMultDiv:  newUnitPool(cfg.FpMultDiv),
+		},
+		maxGroupSize: cfg.FetchBufBytes / 4,
+	}
+	for i := range c.intProd {
+		c.intProd[i] = -1
+		c.fpProd[i] = -1
+	}
+	return c, nil
+}
+
+// Run simulates the dynamic instruction stream and returns the pipeline
+// trace plus activity statistics.
+func (c *Core) Run(stream []isa.Inst) (*pipetrace.Trace, *Stats, error) {
+	if len(stream) == 0 {
+		return nil, nil, fmt.Errorf("ooo: empty instruction stream")
+	}
+	tr := &pipetrace.Trace{Records: make([]pipetrace.Record, 0, len(stream))}
+
+	for seq := range stream {
+		in := &stream[seq]
+		rec := pipetrace.NewRecord(seq, in.PC, in.Class)
+
+		c.fetch(in, &rec)
+		c.decode(&rec)
+		c.rename(in, &rec)
+		c.schedule(in, &rec)
+		c.commit(in, &rec)
+
+		tr.Records = append(tr.Records, rec)
+		c.stats.Fetched++
+		c.stats.Committed++
+	}
+	tr.Cycles = c.lastC + 1 // cycles are 0-based stamps
+	c.stats.Cycles = tr.Cycles
+	c.stats.ICacheAccesses = c.hier.L1I.Accesses
+	c.stats.ICacheMisses = c.hier.L1I.Misses
+	c.stats.DCacheAccesses = c.hier.L1D.Accesses
+	c.stats.DCacheMisses = c.hier.L1D.Misses
+	c.stats.L2Accesses = c.hier.L2.Accesses
+	c.stats.L2Misses = c.hier.L2.Misses
+	c.stats.BranchLookups = c.pred.Lookups
+	c.stats.Mispredicts = c.pred.Mispredicts
+	return tr, &c.stats, nil
+}
+
+// fetch resolves F1/F2/F for one instruction, handling fetch grouping,
+// I-cache latency, branch prediction, and misprediction refills.
+func (c *Core) fetch(in *isa.Inst, rec *pipetrace.Record) {
+	if c.groupLeft == 0 {
+		// Start a new fetch group: one I$ request covering up to
+		// FetchBufBytes of straight-line instructions. At most two groups
+		// are in flight: a group may not start before the group two back
+		// has drained into the fetch queue.
+		f1 := maxI64(c.nextFetch, c.groupDrain[0]+1)
+		c.groupDrain[0] = c.groupDrain[1]
+		lat := int64(c.hier.FetchLatency(in.PC))
+		c.groupF1 = f1
+		c.groupLat = lat
+		c.groupF2 = f1 + lat
+		c.groupLeft = c.maxGroupSize
+		c.stats.FetchGroups++
+		if c.refillFrom >= 0 {
+			rec.MispredictFrom = c.refillFrom
+			c.refillFrom = -1
+		}
+	}
+	c.groupLeft--
+
+	rec.Stamp[pipetrace.SF1] = c.groupF1
+	rec.Stamp[pipetrace.SF2] = c.groupF2
+	rec.ICacheLat = c.groupLat
+
+	// F: copy into the fetch queue — fetch width and FQ capacity apply.
+	fqAt, _ := c.fq.alloc()
+	fAt := maxI64(c.groupF2, fqAt, c.lastF)
+	f := c.fetchBW.book(fAt)
+	rec.Stamp[pipetrace.SF] = f
+	c.lastF = f
+	c.groupDrain[1] = f
+
+	groupDone := c.groupLeft == 0
+
+	if in.Class == isa.OpBranch {
+		pred := c.pred.Predict(in.PC, in.BrKind)
+		mispred := pred.Taken != in.Taken || (in.Taken && pred.Target != in.NextPC())
+		if mispred {
+			c.pred.Mispredicts++
+			rec.Mispredicted = true
+			c.pred.Recover(pred.Snap, in.BrKind, in.Taken)
+			// The front end stalls until the branch resolves; the
+			// resolve time is filled in by schedule().
+			c.pendingRedirectSeq = rec.Seq
+			groupDone = true
+		} else if in.Taken {
+			// Correctly predicted taken: the BTB redirects the next
+			// fetch group to the target with a one-cycle bubble.
+			groupDone = true
+		}
+		c.pred.Train(in.PC, in.BrKind, in.Taken, in.NextPC(), pred.Snap.Hist())
+	}
+
+	if groupDone {
+		c.groupLeft = 0
+		c.nextFetch = c.groupF1 + 1
+	}
+}
+
+// decode resolves DC and frees the fetch-queue entry.
+func (c *Core) decode(rec *pipetrace.Record) {
+	dc := c.decodeBW.book(maxI64(rec.Stamp[pipetrace.SF]+1, c.lastDC))
+	rec.Stamp[pipetrace.SDC] = dc
+	c.lastDC = dc
+	c.fq.free(dc+1, rec.Seq)
+}
+
+// rename resolves R and DP: it performs the scoreboard checks on every
+// back-end structure the instruction needs, recording which producer's
+// release unblocked each stall (the paper's rename-to-rename edges).
+func (c *Core) rename(in *isa.Inst, rec *pipetrace.Record) {
+	base := maxI64(rec.Stamp[pipetrace.SDC]+1, c.lastR)
+	ready := base
+
+	type want struct {
+		pool *capPool
+		res  uarch.Resource
+	}
+	wants := []want{{c.rob, uarch.ResROB}, {c.iq, uarch.ResIQ}}
+	switch in.Class {
+	case isa.OpLoad:
+		wants = append(wants, want{c.lq, uarch.ResLQ})
+	case isa.OpStore:
+		wants = append(wants, want{c.sq, uarch.ResSQ})
+	}
+	if in.HasDest() {
+		if in.Dest.Float {
+			wants = append(wants, want{c.fpRF, uarch.ResFpRF})
+		} else {
+			wants = append(wants, want{c.intRF, uarch.ResIntRF})
+		}
+	}
+	for _, w := range wants {
+		t, owner := w.pool.alloc()
+		if t > base && owner >= 0 {
+			rec.ResourceDeps = append(rec.ResourceDeps, pipetrace.ResourceDep{
+				Resource: w.res,
+				Producer: owner,
+			})
+			c.stats.RenameStalls[w.res]++
+		}
+		ready = maxI64(ready, t)
+	}
+
+	r := c.renameBW.book(ready)
+	rec.Stamp[pipetrace.SR] = r
+	c.lastR = r
+	c.stats.RenameOps++
+
+	dp := c.dispatchBW.book(maxI64(r+1, c.lastDP))
+	rec.Stamp[pipetrace.SDP] = dp
+	c.lastDP = dp
+}
+
+// schedule resolves I, M, and P: operand wakeup, FU and memory-port
+// contention, cache access, and store-to-load forwarding.
+func (c *Core) schedule(in *isa.Inst, rec *pipetrace.Record) {
+	dp := rec.Stamp[pipetrace.SDP]
+	base := dp + 1
+
+	// Operand readiness (true data dependence).
+	for _, src := range []isa.Reg{in.Src1, in.Src2} {
+		if !src.Valid() || src.IsZero() {
+			continue
+		}
+		var t int64
+		var prod int
+		if src.Float {
+			t, prod = c.fpReady[src.Index], c.fpProd[src.Index]
+		} else {
+			t, prod = c.intReady[src.Index], c.intProd[src.Index]
+		}
+		if t > base && prod >= 0 {
+			rec.DataProducers = append(rec.DataProducers, prod)
+		}
+		base = maxI64(base, t)
+	}
+
+	// Functional unit.
+	spec := fuTable[in.Class]
+	occ := int64(1)
+	if !spec.pipelined {
+		occ = spec.lat
+	}
+	fuStart, fuUnit, fuPrev := c.fus[spec.res].acquire(base, occ, rec.Seq)
+	if fuStart > base && fuPrev >= 0 {
+		rec.FUProducer = fuPrev
+		rec.FURes = spec.res
+	}
+	issueAt := fuStart
+
+	// Memory port (loads occupy a RdWr port at issue).
+	portUnit := -1
+	if in.Class == isa.OpLoad {
+		pStart, pu, pPrev := c.ports.acquire(issueAt, 1, rec.Seq)
+		if pStart > issueAt && pPrev >= 0 {
+			rec.PortProducer = pPrev
+		}
+		issueAt = pStart
+		portUnit = pu
+	}
+
+	iss := c.issueBW.book(issueAt)
+	// Rebook the unit (and port) at the true issue cycle so later
+	// consumers' producer annotations stay causally ordered.
+	if iss != fuStart {
+		c.fus[spec.res].adjust(fuUnit, iss, occ)
+	}
+	if portUnit >= 0 && iss != issueAt {
+		c.ports.adjust(portUnit, iss, 1)
+	}
+	rec.Stamp[pipetrace.SI] = iss
+	c.stats.IssuedPerFU[spec.res]++
+	c.iq.free(iss+1, rec.Seq)
+
+	// Execution / memory access.
+	var done int64
+	rec.ExecLat = spec.lat
+	switch in.Class {
+	case isa.OpLoad:
+		m := iss + 1 // address generation
+		rec.Stamp[pipetrace.SM] = m
+		addr := in.Addr &^ 7
+		if se, ok := c.storeBuf[addr]; ok && se.commit > m {
+			// Store-to-load forwarding from the SQ.
+			c.stats.StoreForwards++
+			done = maxI64(m, se.pReady) + 1
+			rec.DCacheLat = done - m
+		} else {
+			lat := int64(c.hier.DataLatency(in.Addr))
+			rec.DCacheLat = lat
+			done = m + lat
+		}
+	case isa.OpStore:
+		m := iss + 1
+		rec.Stamp[pipetrace.SM] = m
+		done = m // address + data staged in the SQ
+	default:
+		done = iss + spec.lat
+	}
+	rec.Stamp[pipetrace.SP] = done
+
+	// Publish the destination for dependents.
+	if in.HasDest() {
+		if in.Dest.Float {
+			c.fpReady[in.Dest.Index] = done + 1
+			c.fpProd[in.Dest.Index] = rec.Seq
+		} else {
+			c.intReady[in.Dest.Index] = done + 1
+			c.intProd[in.Dest.Index] = rec.Seq
+		}
+	}
+
+	// Mispredicted branch: the front end resumes after resolution.
+	if rec.Mispredicted && c.pendingRedirectSeq == rec.Seq {
+		resume := done + redirectPenalty
+		if resume > c.nextFetch {
+			c.nextFetch = resume
+		}
+		c.refillFrom = rec.Seq
+		c.groupLeft = 0
+		c.pendingRedirectSeq = -1
+	}
+}
+
+// commit resolves C and releases commit-time resources: the ROB entry, the
+// LQ entry, the previous mapping of the destination register, and (after
+// the drain) the SQ entry.
+func (c *Core) commit(in *isa.Inst, rec *pipetrace.Record) {
+	cc := c.commitBW.book(maxI64(rec.Stamp[pipetrace.SP]+1, c.lastC))
+	rec.Stamp[pipetrace.SC] = cc
+	c.lastC = cc
+
+	c.rob.free(cc+1, rec.Seq)
+	if in.HasDest() {
+		if in.Dest.Float {
+			c.fpRF.free(cc+1, rec.Seq)
+		} else {
+			c.intRF.free(cc+1, rec.Seq)
+		}
+	}
+	switch in.Class {
+	case isa.OpLoad:
+		c.lq.free(cc+1, rec.Seq)
+	case isa.OpStore:
+		// The store drains to the D$ after commit through the write
+		// buffer, holding its SQ entry for the duration of the access.
+		drain := cc + 1 // write buffer has its own D$ write port
+		lat := int64(c.hier.DataLatency(in.Addr))
+		c.sq.free(drain+lat, rec.Seq)
+		c.storeBuf[in.Addr&^7] = storeEntry{
+			seq:    rec.Seq,
+			pReady: rec.Stamp[pipetrace.SP],
+			commit: drain + lat,
+		}
+	}
+}
+
+func maxI64(vs ...int64) int64 {
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,100 @@
+package ooo
+
+import (
+	"testing"
+
+	"archexplorer/internal/pipetrace"
+	"archexplorer/internal/uarch"
+	"archexplorer/internal/workload"
+)
+
+func runWorkload(t testing.TB, cfg uarch.Config, name string, n int) (*pipetrace.Trace, *Stats) {
+	t.Helper()
+	p, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := workload.CachedTrace(p, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, stats, err := core.Run(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, stats
+}
+
+func TestBaselineProducesValidTrace(t *testing.T) {
+	tr, stats := runWorkload(t, uarch.Baseline(), "458.sjeng", 5000)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ipc := stats.IPC()
+	if ipc <= 0.08 || ipc > 4 {
+		t.Fatalf("baseline IPC %.3f outside plausible range", ipc)
+	}
+	t.Logf("sjeng baseline: IPC=%.3f cycles=%d mispredict=%.3f", ipc, stats.Cycles, stats.MispredictRate())
+}
+
+func TestEveryWorkloadSimulates(t *testing.T) {
+	cfg := uarch.Baseline()
+	for _, p := range workload.All() {
+		stream, err := workload.CachedTrace(p, 2000)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		core, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, stats, err := core.Run(stream)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if stats.IPC() <= 0 {
+			t.Fatalf("%s: nonpositive IPC", p.Name)
+		}
+		t.Logf("%-18s IPC=%.3f  br-mpki=%.1f  d$miss=%.2f", p.Name, stats.IPC(),
+			1000*float64(stats.Mispredicts)/float64(stats.Committed),
+			float64(stats.DCacheMisses)/float64(max64(stats.DCacheAccesses, 1)))
+	}
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestBiggerMachineIsNotSlower(t *testing.T) {
+	small := uarch.Baseline()
+	big := small
+	big.Width = 8
+	big.ROBEntries = 256
+	big.IntRF = 256
+	big.FpRF = 256
+	big.IQEntries = 80
+	big.LQEntries = 48
+	big.SQEntries = 48
+	big.IntALU = 6
+	big.IntMultDiv = 2
+	big.FpALU = 2
+	big.FpMultDiv = 2
+
+	for _, name := range []string{"458.sjeng", "444.namd", "429.mcf"} {
+		_, sSmall := runWorkload(t, small, name, 4000)
+		_, sBig := runWorkload(t, big, name, 4000)
+		if sBig.IPC() < sSmall.IPC()*0.98 {
+			t.Errorf("%s: bigger machine slower: %.3f vs %.3f", name, sBig.IPC(), sSmall.IPC())
+		}
+	}
+}

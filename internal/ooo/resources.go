@@ -1,0 +1,181 @@
+// Package ooo is the cycle-level out-of-order superscalar core model that
+// substitutes for the paper's modified gem5 O3 CPU.
+//
+// The model is trace-driven: the dynamic instruction stream (with resolved
+// branch outcomes and effective addresses) comes from internal/workload,
+// and the core resolves, in program order, the cycle at which each pipeline
+// event of each instruction occurs, subject to the design point's resource
+// constraints — pipeline widths, fetch buffering, branch prediction, ROB/
+// IQ/LQ/SQ capacities, rename register pools, functional-unit and memory-
+// port counts, and the cache hierarchy. Because later instructions' events
+// depend only on earlier instructions' events, each instruction can be
+// fully resolved before the next one, which both keeps the model fast and
+// lets the scoreboard state the paper requires — WHICH instruction's
+// released entry unblocked a stall — fall out exactly.
+//
+// Mispredicted branches stall the front end until the branch resolves and
+// then pay a refill redirect; wrong-path instructions are not simulated
+// (they cannot be derived from a correct-path trace), which slightly
+// understates misprediction cost but preserves its critical-path structure.
+package ooo
+
+import "container/heap"
+
+// freeEvent is one resource entry becoming available.
+type freeEvent struct {
+	time  int64 // cycle at which the entry is usable again
+	owner int   // sequence number of the releasing instruction
+}
+
+type eventHeap []freeEvent
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].time < h[j].time }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(freeEvent)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// capPool models a capacity-constrained structure (ROB, IQ, LQ, SQ, rename
+// register pools) whose entries are allocated in program order and freed at
+// arbitrary times. Allocation takes the earliest-free entry; if the pool is
+// not yet full the allocation is unconstrained.
+type capPool struct {
+	capacity int
+	h        eventHeap
+}
+
+func newCapPool(capacity int) *capPool {
+	return &capPool{capacity: capacity, h: make(eventHeap, 0, capacity)}
+}
+
+// alloc reserves one entry and returns the earliest cycle the entry is
+// available plus the instruction that released it (-1 when unconstrained).
+// The caller must later pass the entry's own release to free.
+func (p *capPool) alloc() (int64, int) {
+	if len(p.h) < p.capacity {
+		return 0, -1
+	}
+	ev := heap.Pop(&p.h).(freeEvent)
+	return ev.time, ev.owner
+}
+
+// free registers that owner releases one entry at time t.
+func (p *capPool) free(t int64, owner int) {
+	heap.Push(&p.h, freeEvent{time: t, owner: owner})
+}
+
+// unitPool models a small bank of execution units (ALUs, dividers, cache
+// ports). acquire picks the earliest-free unit, returns when it is free and
+// who used it last, and occupies it for occ cycles starting no earlier than
+// at.
+type unitPool struct {
+	nextFree []int64
+	lastUser []int
+}
+
+func newUnitPool(n int) *unitPool {
+	u := &unitPool{nextFree: make([]int64, n), lastUser: make([]int, n)}
+	for i := range u.lastUser {
+		u.lastUser[i] = -1
+	}
+	return u
+}
+
+// acquire books the earliest-available unit for occ cycles beginning at
+// max(at, unit free time) on behalf of user. It returns the start cycle,
+// the chosen unit, and the previous user when the unit was still busy at
+// the requested time (-1 when the unit was already idle, i.e. no
+// contention). If the caller's event is further delayed (issue-bandwidth
+// limits), it must rebook the unit with adjust so later consumers observe
+// the true occupancy window.
+func (u *unitPool) acquire(at int64, occ int64, user int) (start int64, unit, prev int) {
+	best := 0
+	for i := 1; i < len(u.nextFree); i++ {
+		if u.nextFree[i] < u.nextFree[best] {
+			best = i
+		}
+	}
+	start = at
+	prev = -1
+	if u.nextFree[best] > at {
+		start = u.nextFree[best]
+		prev = u.lastUser[best]
+	}
+	u.nextFree[best] = start + occ
+	u.lastUser[best] = user
+	return start, best, prev
+}
+
+// adjust moves a just-acquired unit's busy window to the actual start time.
+func (u *unitPool) adjust(unit int, start, occ int64) {
+	u.nextFree[unit] = start + occ
+}
+
+// bwRing tracks per-cycle bandwidth for events that are not monotone in
+// time (issue). Slots are addressed by cycle modulo the ring size; the
+// in-flight window of the core is far smaller than the ring, so collisions
+// cannot occur.
+type bwRing struct {
+	cycle []int64
+	used  []int
+	width int
+	mask  int64
+}
+
+func newBWRing(width int, logSize uint) *bwRing {
+	size := int64(1) << logSize
+	return &bwRing{
+		cycle: make([]int64, size),
+		used:  make([]int, size),
+		width: width,
+		mask:  size - 1,
+	}
+}
+
+// book finds the first cycle >= t with spare bandwidth and consumes a slot.
+func (r *bwRing) book(t int64) int64 {
+	for {
+		slot := t & r.mask
+		if r.cycle[slot] != t {
+			r.cycle[slot] = t
+			r.used[slot] = 0
+		}
+		if r.used[slot] < r.width {
+			r.used[slot]++
+			return t
+		}
+		t++
+	}
+}
+
+// inorderBW limits a pipeline stage whose event times are monotone
+// (fetch, decode, rename, dispatch, commit).
+type inorderBW struct {
+	width int
+	cur   int64
+	used  int
+}
+
+func newInorderBW(width int) *inorderBW { return &inorderBW{width: width} }
+
+// book returns the first cycle >= t with a free slot and consumes it.
+// t must be >= any previously returned cycle minus the stage's reordering
+// window (stages using this helper are strictly in order).
+func (b *inorderBW) book(t int64) int64 {
+	if t > b.cur {
+		b.cur, b.used = t, 0
+	}
+	if b.used < b.width {
+		b.used++
+		return b.cur
+	}
+	b.cur++
+	b.used = 1
+	return b.cur
+}

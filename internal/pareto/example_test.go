@@ -1,0 +1,26 @@
+package pareto_test
+
+import (
+	"fmt"
+
+	"archexplorer/internal/pareto"
+)
+
+// Example computes the frontier and hypervolume of a small design set.
+func Example() {
+	designs := []pareto.Point{
+		{Perf: 1.2, Power: 0.30, Area: 6.0}, // fast but hungry
+		{Perf: 0.9, Power: 0.18, Area: 4.5}, // balanced
+		{Perf: 0.8, Power: 0.25, Area: 5.5}, // dominated by the balanced one
+		{Perf: 0.5, Power: 0.10, Area: 3.0}, // small and cool
+	}
+	frontier := pareto.Frontier(designs)
+	fmt.Println("frontier size:", len(frontier))
+
+	ref := pareto.Reference{Perf: 0.1, Power: 0.5, Area: 10}
+	hv := pareto.Hypervolume(designs, ref)
+	fmt.Printf("hypervolume: %.3f\n", hv)
+	// Output:
+	// frontier size: 3
+	// hypervolume: 2.064
+}

@@ -1,0 +1,207 @@
+// Package pareto implements Pareto dominance, frontier extraction, and
+// exact Pareto hypervolume (Equation 3 of the paper) for the
+// performance-power-area objective space: performance is maximised while
+// power and area are minimised.
+package pareto
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is one design's PPA outcome.
+type Point struct {
+	Perf  float64 // IPC, higher is better
+	Power float64 // watts, lower is better
+	Area  float64 // mm², lower is better
+}
+
+// Dominates reports whether p is at least as good as q in every objective
+// and strictly better in at least one.
+func (p Point) Dominates(q Point) bool {
+	if p.Perf < q.Perf || p.Power > q.Power || p.Area > q.Area {
+		return false
+	}
+	return p.Perf > q.Perf || p.Power < q.Power || p.Area < q.Area
+}
+
+// BetterEq reports whether p is at least as good as q everywhere.
+func (p Point) BetterEq(q Point) bool {
+	return p.Perf >= q.Perf && p.Power <= q.Power && p.Area <= q.Area
+}
+
+// Frontier returns the non-dominated subset of pts, sorted by decreasing
+// performance. Duplicate points are collapsed.
+func Frontier(pts []Point) []Point {
+	var out []Point
+	for i, p := range pts {
+		dominated := false
+		for j, q := range pts {
+			if i == j {
+				continue
+			}
+			if q.Dominates(p) {
+				dominated = true
+				break
+			}
+			// Drop exact duplicates keeping the first occurrence.
+			if j < i && q == p {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Perf != out[j].Perf {
+			return out[i].Perf > out[j].Perf
+		}
+		if out[i].Power != out[j].Power {
+			return out[i].Power < out[j].Power
+		}
+		return out[i].Area < out[j].Area
+	})
+	return out
+}
+
+// Reference is the hypervolume reference point v0; it must be dominated by
+// every frontier point (worse in every objective).
+type Reference struct {
+	Perf  float64 // lower bound on performance
+	Power float64 // upper bound on power
+	Area  float64 // upper bound on area
+}
+
+// DefaultReference returns a reference point dominated by all pts with a
+// small margin.
+func DefaultReference(pts []Point) Reference {
+	r := Reference{Perf: math.Inf(1), Power: 0, Area: 0}
+	for _, p := range pts {
+		r.Perf = math.Min(r.Perf, p.Perf)
+		r.Power = math.Max(r.Power, p.Power)
+		r.Area = math.Max(r.Area, p.Area)
+	}
+	if math.IsInf(r.Perf, 1) {
+		return Reference{}
+	}
+	r.Perf *= 0.9
+	r.Power *= 1.1
+	r.Area *= 1.1
+	return r
+}
+
+// Hypervolume computes the exact 3-objective Pareto hypervolume of pts
+// with respect to ref (Equation 3). Points not dominating ref are ignored.
+// The implementation transforms to maximisation coordinates and sweeps
+// performance slices, accumulating the 2D staircase area of each slice.
+func Hypervolume(pts []Point, ref Reference) float64 {
+	// Transform to gain coordinates (all >= 0, larger is better).
+	var gs []gain
+	for _, p := range Frontier(pts) {
+		if p.Perf <= ref.Perf || p.Power >= ref.Power || p.Area >= ref.Area {
+			continue
+		}
+		gs = append(gs, gain{p.Perf - ref.Perf, ref.Power - p.Power, ref.Area - p.Area})
+	}
+	if len(gs) == 0 {
+		return 0
+	}
+	sort.Slice(gs, func(i, j int) bool { return gs[i].a > gs[j].a })
+
+	// Sweep a from high to low; between consecutive distinct a values the
+	// cross-section is the staircase union of (b,c) rectangles of all
+	// points seen so far.
+	var hv float64
+	var active []gain
+	for i := 0; i < len(gs); {
+		j := i
+		for j < len(gs) && gs[j].a == gs[i].a {
+			active = append(active, gs[j])
+			j++
+		}
+		top := gs[i].a
+		bottom := 0.0
+		if j < len(gs) {
+			bottom = gs[j].a
+		}
+		hv += (top - bottom) * staircaseArea(active)
+		i = j
+	}
+	return hv
+}
+
+// gain is a point in maximisation coordinates relative to the reference.
+type gain struct{ a, b, c float64 }
+
+// staircaseArea computes the area of the union of the [0,b]x[0,c]
+// rectangles of the active points: sort by b descending and accumulate
+// strips where c exceeds the running maximum.
+func staircaseArea(rects []gain) float64 {
+	if len(rects) == 0 {
+		return 0
+	}
+	rs := make([]gain, len(rects))
+	copy(rs, rects)
+	sort.Slice(rs, func(i, j int) bool { return rs[i].b > rs[j].b })
+	var area, cmax float64
+	for i := 0; i < len(rs); i++ {
+		if rs[i].c <= cmax {
+			continue
+		}
+		width := rs[i].b
+		// The strip from the next-lower b boundary... accumulate by
+		// integrating height increases: the union area equals
+		// sum over points (sorted by b desc) of b_i * (c_i - cmax_so_far).
+		area += width * (rs[i].c - cmax)
+		cmax = rs[i].c
+	}
+	return area
+}
+
+// Hypervolume2D computes the exact Pareto hypervolume in the
+// performance-power plane (the Figure 11 illustration), ignoring area.
+func Hypervolume2D(pts []Point, ref Reference) float64 {
+	var gs []gain
+	for _, p := range Frontier(pts) {
+		if p.Perf <= ref.Perf || p.Power >= ref.Power {
+			continue
+		}
+		gs = append(gs, gain{a: 0, b: p.Perf - ref.Perf, c: ref.Power - p.Power})
+	}
+	return staircaseArea(gs)
+}
+
+// Curve returns the hypervolume after each prefix of the evaluation
+// sequence: Curve(pts, ref)[i] is the HV of pts[:i+1]. It is non-
+// decreasing by construction.
+func Curve(pts []Point, ref Reference) []float64 {
+	out := make([]float64, len(pts))
+	for i := range pts {
+		out[i] = Hypervolume(pts[:i+1], ref)
+	}
+	return out
+}
+
+// CurveAt samples a hypervolume curve at the given budgets: result[i] is
+// the HV using the first budgets[i] evaluations (clamped to len(pts)).
+func CurveAt(pts []Point, ref Reference, budgets []int) []float64 {
+	out := make([]float64, len(budgets))
+	for i, b := range budgets {
+		if b > len(pts) {
+			b = len(pts)
+		}
+		if b < 0 {
+			b = 0
+		}
+		out[i] = Hypervolume(pts[:b], ref)
+	}
+	return out
+}
+
+// String renders a point compactly.
+func (p Point) String() string {
+	return fmt.Sprintf("(perf=%.3f, power=%.3fW, area=%.2fmm²)", p.Perf, p.Power, p.Area)
+}

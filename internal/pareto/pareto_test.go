@@ -1,0 +1,192 @@
+package pareto
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDominance(t *testing.T) {
+	a := Point{Perf: 1.0, Power: 0.2, Area: 5}
+	b := Point{Perf: 0.9, Power: 0.25, Area: 6}
+	if !a.Dominates(b) {
+		t.Fatal("a should dominate b")
+	}
+	if b.Dominates(a) {
+		t.Fatal("b should not dominate a")
+	}
+	if a.Dominates(a) {
+		t.Fatal("no self-domination")
+	}
+}
+
+func TestDominanceIsStrictPartialOrder(t *testing.T) {
+	// Irreflexive and asymmetric under random points.
+	f := func(p1, p2, w1, w2, a1, a2 uint8) bool {
+		x := Point{Perf: float64(p1), Power: float64(w1), Area: float64(a1)}
+		y := Point{Perf: float64(p2), Power: float64(w2), Area: float64(a2)}
+		if x.Dominates(x) || y.Dominates(y) {
+			return false
+		}
+		return !(x.Dominates(y) && y.Dominates(x))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrontierNonDominated(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var pts []Point
+	for i := 0; i < 200; i++ {
+		pts = append(pts, Point{Perf: rng.Float64(), Power: rng.Float64(), Area: rng.Float64()})
+	}
+	fr := Frontier(pts)
+	if len(fr) == 0 {
+		t.Fatal("empty frontier")
+	}
+	for i, p := range fr {
+		for j, q := range fr {
+			if i != j && q.Dominates(p) {
+				t.Fatalf("frontier point %v dominated by %v", p, q)
+			}
+		}
+		// Every frontier point must come from pts.
+		found := false
+		for _, orig := range pts {
+			if orig == p {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("frontier invented point %v", p)
+		}
+	}
+	// Every non-frontier point must be dominated by some frontier point
+	// or be a duplicate.
+	for _, p := range pts {
+		onFront := false
+		for _, q := range fr {
+			if p == q {
+				onFront = true
+				break
+			}
+		}
+		if onFront {
+			continue
+		}
+		dominated := false
+		for _, q := range fr {
+			if q.Dominates(p) || q == p {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			t.Fatalf("point %v neither on frontier nor dominated", p)
+		}
+	}
+}
+
+func TestHypervolumeSinglePoint(t *testing.T) {
+	ref := Reference{Perf: 0, Power: 1, Area: 10}
+	p := Point{Perf: 2, Power: 0.5, Area: 5}
+	got := Hypervolume([]Point{p}, ref)
+	want := 2.0 * 0.5 * 5.0
+	if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("HV = %v, want %v", got, want)
+	}
+}
+
+func TestHypervolumeMatchesMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ref := Reference{Perf: 0, Power: 1, Area: 1}
+	var pts []Point
+	for i := 0; i < 24; i++ {
+		pts = append(pts, Point{
+			Perf:  rng.Float64(),
+			Power: rng.Float64(),
+			Area:  rng.Float64(),
+		})
+	}
+	exact := Hypervolume(pts, ref)
+
+	const samples = 400000
+	fr := Frontier(pts)
+	hits := 0
+	for i := 0; i < samples; i++ {
+		y := Point{Perf: rng.Float64(), Power: rng.Float64(), Area: rng.Float64()}
+		for _, p := range fr {
+			if p.Perf >= y.Perf && p.Power <= y.Power && p.Area <= y.Area {
+				hits++
+				break
+			}
+		}
+	}
+	mc := float64(hits) / samples // unit cube volume
+	if diff := exact - mc; diff > 0.01 || diff < -0.01 {
+		t.Fatalf("exact HV %v vs Monte Carlo %v", exact, mc)
+	}
+}
+
+func TestHypervolumeMonotoneUnderAddingPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ref := Reference{Perf: 0, Power: 1, Area: 1}
+	var pts []Point
+	prev := 0.0
+	for i := 0; i < 100; i++ {
+		pts = append(pts, Point{Perf: rng.Float64(), Power: rng.Float64(), Area: rng.Float64()})
+		hv := Hypervolume(pts, ref)
+		if hv < prev-1e-12 {
+			t.Fatalf("HV decreased from %v to %v after adding a point", prev, hv)
+		}
+		prev = hv
+	}
+}
+
+func TestCurveNonDecreasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ref := Reference{Perf: 0, Power: 1, Area: 1}
+	var pts []Point
+	for i := 0; i < 60; i++ {
+		pts = append(pts, Point{Perf: rng.Float64(), Power: rng.Float64(), Area: rng.Float64()})
+	}
+	c := Curve(pts, ref)
+	for i := 1; i < len(c); i++ {
+		if c[i] < c[i-1]-1e-12 {
+			t.Fatalf("curve decreased at %d: %v -> %v", i, c[i-1], c[i])
+		}
+	}
+	at := CurveAt(pts, ref, []int{10, 30, 60, 100})
+	if at[2] != c[59] || at[3] != c[59] {
+		t.Fatal("CurveAt clamp mismatch")
+	}
+}
+
+func TestHypervolume2D(t *testing.T) {
+	ref := Reference{Perf: 0, Power: 1, Area: 99}
+	pts := []Point{
+		{Perf: 1, Power: 0.6, Area: 1},
+		{Perf: 0.5, Power: 0.2, Area: 1},
+	}
+	got := Hypervolume2D(pts, ref)
+	// Union of [0,1]x[0,0.4] and [0,0.5]x[0,0.8]
+	want := 1*0.4 + 0.5*(0.8-0.4)
+	if d := got - want; d > 1e-12 || d < -1e-12 {
+		t.Fatalf("2D HV %v, want %v", got, want)
+	}
+}
+
+func TestDefaultReferenceDominated(t *testing.T) {
+	pts := []Point{{Perf: 1, Power: 0.3, Area: 4}, {Perf: 2, Power: 0.5, Area: 6}}
+	ref := DefaultReference(pts)
+	for _, p := range pts {
+		if p.Perf <= ref.Perf || p.Power >= ref.Power || p.Area >= ref.Area {
+			t.Fatalf("reference %+v not dominated by %v", ref, p)
+		}
+	}
+	if (DefaultReference(nil) != Reference{}) {
+		t.Fatal("empty input should yield zero reference")
+	}
+}

@@ -1,0 +1,159 @@
+// Package persist serialises exploration artefacts — configurations,
+// evaluations, bottleneck reports, and whole DSE campaigns — to JSON so
+// runs can be stored, resumed, diffed, and post-processed outside the
+// process (the equivalent of the exploration set the paper's flow keeps on
+// disk between the DSE and the final full-Simpoint re-evaluation).
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"archexplorer/internal/deg"
+	"archexplorer/internal/dse"
+	"archexplorer/internal/pareto"
+	"archexplorer/internal/uarch"
+)
+
+// ReportJSON is the stable on-disk form of a bottleneck report.
+type ReportJSON struct {
+	Cycles       int64              `json:"cycles"`
+	Base         float64            `json:"base"`
+	Contribution map[string]float64 `json:"contribution"`
+	EdgeCounts   map[string]int     `json:"edge_counts"`
+}
+
+// FromReport converts a DEG report.
+func FromReport(r *deg.Report) ReportJSON {
+	out := ReportJSON{
+		Cycles:       r.L,
+		Base:         r.Base,
+		Contribution: map[string]float64{},
+		EdgeCounts:   map[string]int{},
+	}
+	for _, res := range uarch.Resources() {
+		if r.Contrib[res] != 0 {
+			out.Contribution[res.String()] = r.Contrib[res]
+		}
+		if r.EdgeCount[res] != 0 {
+			out.EdgeCounts[res.String()] = r.EdgeCount[res]
+		}
+	}
+	return out
+}
+
+// EvaluationJSON is one explored design.
+type EvaluationJSON struct {
+	Config  uarch.Config `json:"config"`
+	Perf    float64      `json:"perf_ipc"`
+	PowerW  float64      `json:"power_w"`
+	AreaMM2 float64      `json:"area_mm2"`
+	Probe   bool         `json:"probe,omitempty"`
+	SimsAt  float64      `json:"sims_at"`
+	Report  *ReportJSON  `json:"report,omitempty"`
+}
+
+// Campaign is a complete DSE run.
+type Campaign struct {
+	Method    string           `json:"method"`
+	Suite     string           `json:"suite"`
+	Budget    int              `json:"budget"`
+	SimsSpent float64          `json:"sims_spent"`
+	Designs   []EvaluationJSON `json:"designs"`
+}
+
+// FromEvaluator captures an evaluator's history after an explorer ran.
+func FromEvaluator(method, suite string, budget int, ev *dse.Evaluator) Campaign {
+	c := Campaign{Method: method, Suite: suite, Budget: budget, SimsSpent: ev.Sims}
+	for _, e := range ev.History {
+		ej := EvaluationJSON{
+			Config:  e.Config,
+			Perf:    e.PPA.Perf,
+			PowerW:  e.PPA.Power,
+			AreaMM2: e.PPA.Area,
+			Probe:   e.Probe,
+			SimsAt:  e.SimsAt,
+		}
+		if e.Report != nil {
+			r := FromReport(e.Report)
+			ej.Report = &r
+		}
+		c.Designs = append(c.Designs, ej)
+	}
+	return c
+}
+
+// Points converts the campaign back to PPA points (full evaluations only
+// unless probes is true), preserving completion order.
+func (c *Campaign) Points(probes bool) []pareto.Point {
+	var out []pareto.Point
+	for _, d := range c.Designs {
+		if d.Probe && !probes {
+			continue
+		}
+		out = append(out, pareto.Point{Perf: d.Perf, Power: d.PowerW, Area: d.AreaMM2})
+	}
+	return out
+}
+
+// Write serialises the campaign as indented JSON.
+func (c *Campaign) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// Read parses a campaign.
+func Read(r io.Reader) (*Campaign, error) {
+	var c Campaign
+	if err := json.NewDecoder(r).Decode(&c); err != nil {
+		return nil, fmt.Errorf("persist: decode campaign: %w", err)
+	}
+	return &c, nil
+}
+
+// Save writes the campaign to a file.
+func (c *Campaign) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := c.Write(f); err != nil {
+		return fmt.Errorf("persist: write %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// Load reads a campaign from a file.
+func Load(path string) (*Campaign, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// ValidateCampaign checks structural invariants after a round trip.
+func ValidateCampaign(c *Campaign) error {
+	if c.Method == "" {
+		return fmt.Errorf("persist: campaign missing method")
+	}
+	prev := 0.0
+	for i, d := range c.Designs {
+		if err := d.Config.Validate(); err != nil {
+			return fmt.Errorf("persist: design %d: %w", i, err)
+		}
+		if d.Perf <= 0 || d.PowerW <= 0 || d.AreaMM2 <= 0 {
+			return fmt.Errorf("persist: design %d has non-positive PPA", i)
+		}
+		if d.SimsAt < prev {
+			return fmt.Errorf("persist: design %d breaks budget ordering", i)
+		}
+		prev = d.SimsAt
+	}
+	return nil
+}

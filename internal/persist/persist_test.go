@@ -1,0 +1,129 @@
+package persist
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"archexplorer/internal/dse"
+	"archexplorer/internal/pareto"
+	"archexplorer/internal/uarch"
+	"archexplorer/internal/workload"
+)
+
+func smallCampaign(t *testing.T) (*dse.Evaluator, Campaign) {
+	t.Helper()
+	suite := workload.Suite06()[:2]
+	ev := dse.NewEvaluator(uarch.StandardSpace(), suite, 1200)
+	ex := dse.NewArchExplorer(1)
+	if err := ex.Run(ev, 12); err != nil {
+		t.Fatal(err)
+	}
+	return ev, FromEvaluator(ex.Name(), "SPEC06", 12, ev)
+}
+
+func TestRoundTrip(t *testing.T) {
+	ev, c := smallCampaign(t)
+	if err := ValidateCampaign(&c); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := c.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateCampaign(back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Designs) != len(c.Designs) {
+		t.Fatalf("design count %d != %d", len(back.Designs), len(c.Designs))
+	}
+	if back.SimsSpent != ev.Sims {
+		t.Fatalf("sims %v != %v", back.SimsSpent, ev.Sims)
+	}
+	for i := range c.Designs {
+		if back.Designs[i] != c.Designs[i] && back.Designs[i].Report == nil {
+			t.Fatalf("design %d drifted", i)
+		}
+	}
+}
+
+func TestHypervolumeSurvivesRoundTrip(t *testing.T) {
+	ev, c := smallCampaign(t)
+	var buf bytes.Buffer
+	if err := c.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := pareto.Reference{Perf: 0.01, Power: 1.5, Area: 25}
+	orig := pareto.Hypervolume(ev.PointsUpTo(1e18), ref)
+	loaded := pareto.Hypervolume(back.Points(true), ref)
+	if d := orig - loaded; d > 1e-12 || d < -1e-12 {
+		t.Fatalf("HV drifted: %v vs %v", orig, loaded)
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	_, c := smallCampaign(t)
+	path := filepath.Join(t.TempDir(), "campaign.json")
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Method != c.Method || len(back.Designs) != len(c.Designs) {
+		t.Fatal("load mismatch")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	_, c := smallCampaign(t)
+	c.Designs[0].Perf = -1
+	if err := ValidateCampaign(&c); err == nil {
+		t.Fatal("negative perf not caught")
+	}
+	_, c = smallCampaign(t)
+	c.Method = ""
+	if err := ValidateCampaign(&c); err == nil {
+		t.Fatal("missing method not caught")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewBufferString("{nope")); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestReportSerialization(t *testing.T) {
+	ev, _ := smallCampaign(t)
+	var withReport *dse.Evaluation
+	for _, e := range ev.History {
+		if e.Report != nil {
+			withReport = e
+			break
+		}
+	}
+	if withReport == nil {
+		t.Skip("no report in campaign")
+	}
+	rj := FromReport(withReport.Report)
+	if rj.Cycles <= 0 {
+		t.Fatal("cycles missing")
+	}
+	if len(rj.Contribution) == 0 {
+		t.Fatal("contributions missing")
+	}
+}

@@ -1,0 +1,114 @@
+package pipetrace
+
+import (
+	"testing"
+
+	"archexplorer/internal/isa"
+)
+
+func validRecord(seq int, base int64) Record {
+	r := NewRecord(seq, 0x1000+uint64(4*seq), isa.OpIntAlu)
+	for s := SF1; s <= SC; s++ {
+		if s == SM {
+			continue
+		}
+		r.Stamp[s] = base + int64(s)
+	}
+	return r
+}
+
+func TestNewRecordDefaults(t *testing.T) {
+	r := NewRecord(3, 0x10, isa.OpLoad)
+	if r.Seq != 3 || r.PC != 0x10 || r.Class != isa.OpLoad {
+		t.Fatal("fields not set")
+	}
+	if r.FUProducer != -1 || r.PortProducer != -1 || r.MispredictFrom != -1 {
+		t.Fatal("producers must default to -1")
+	}
+	for s := 0; s < NumStages; s++ {
+		if r.Stamp[s] != NoStamp {
+			t.Fatal("stamps must default to NoStamp")
+		}
+	}
+}
+
+func TestRecordValidate(t *testing.T) {
+	r := validRecord(0, 10)
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// M may be absent; other stages may not.
+	r.Stamp[SDC] = NoStamp
+	if err := r.Validate(); err == nil {
+		t.Fatal("missing DC must fail")
+	}
+	r = validRecord(0, 10)
+	r.Stamp[SP] = r.Stamp[SI] - 5
+	if err := r.Validate(); err == nil {
+		t.Fatal("non-monotone stamps must fail")
+	}
+}
+
+func TestRecordSpan(t *testing.T) {
+	r := validRecord(0, 100)
+	if got := r.Span(); got != int64(SC) {
+		t.Fatalf("span %d", got)
+	}
+}
+
+func TestTraceValidate(t *testing.T) {
+	tr := &Trace{}
+	for i := 0; i < 5; i++ {
+		tr.Records = append(tr.Records, validRecord(i, int64(10*i)))
+	}
+	tr.Cycles = tr.Records[4].Stamp[SC] + 1
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Out-of-order commits must fail.
+	bad := *tr
+	bad.Records = append([]Record(nil), tr.Records...)
+	bad.Records[3].Stamp[SC] = 1000
+	if err := bad.Validate(); err == nil {
+		t.Fatal("commit reordering must fail validation")
+	}
+
+	// Sparse sequence numbers must fail.
+	bad2 := *tr
+	bad2.Records = append([]Record(nil), tr.Records...)
+	bad2.Records[2].Seq = 7
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("sparse seq must fail validation")
+	}
+
+	// Cycles earlier than the last commit must fail.
+	bad3 := *tr
+	bad3.Cycles = 1
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("short Cycles must fail validation")
+	}
+}
+
+func TestIPC(t *testing.T) {
+	tr := &Trace{Cycles: 100}
+	for i := 0; i < 50; i++ {
+		tr.Records = append(tr.Records, validRecord(i, int64(i)))
+	}
+	if got := tr.IPC(); got != 0.5 {
+		t.Fatalf("IPC %v", got)
+	}
+	empty := &Trace{}
+	if empty.IPC() != 0 {
+		t.Fatal("empty trace IPC must be 0")
+	}
+}
+
+func TestStageNames(t *testing.T) {
+	want := []string{"F1", "F2", "F", "DC", "R", "DP", "I", "M", "P", "C"}
+	for i, name := range want {
+		if Stage(i).String() != name {
+			t.Errorf("stage %d named %q", i, Stage(i))
+		}
+	}
+}

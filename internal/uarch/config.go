@@ -1,0 +1,210 @@
+// Package uarch describes out-of-order microarchitecture configurations and
+// the design space explored by ArchExplorer.
+//
+// The parameter set reproduces Table 4 of the paper: 21 parameters of an
+// OoO RISC-V processor similar to the Alpha 21264, spanning pipeline width,
+// front-end buffering, the tournament branch predictor, back-end queue and
+// register-file capacities, functional-unit counts, and first-level cache
+// geometry. The full cross product holds about 8.96e14 design points.
+package uarch
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Config is one microarchitecture design point. Every field corresponds to a
+// row of Table 4; the zero value is NOT valid — use Baseline or
+// Space.Decode to construct configurations.
+type Config struct {
+	// Front end.
+	Width          int // fetch/decode/rename/dispatch/issue/writeback/commit width
+	FetchBufBytes  int // fetch buffer size in bytes
+	FetchQueueUops int // fetch target queue capacity in micro-ops
+
+	// Tournament branch predictor.
+	LocalPredictor  int // local history table entries
+	GlobalPredictor int // global predictor entries (choice predictor matches)
+	RASEntries      int // return address stack depth
+	BTBEntries      int // branch target buffer entries
+
+	// Back end capacities.
+	ROBEntries int
+	IntRF      int // physical integer registers
+	FpRF       int // physical floating-point registers
+	IQEntries  int // unified instruction (issue) queue
+	LQEntries  int // load queue
+	SQEntries  int // store queue
+
+	// Functional units.
+	IntALU     int
+	IntMultDiv int
+	FpALU      int
+	FpMultDiv  int
+	// RdWrPort is fixed at 1 in Table 1 and is not swept in Table 4, but
+	// the model keeps it explicit so bottleneck reports can attribute
+	// memory-port contention.
+	RdWrPorts int
+
+	// First-level caches. Sizes in KB, power-of-two associativity.
+	ICacheKB    int
+	ICacheAssoc int
+	DCacheKB    int
+	DCacheAssoc int
+}
+
+// Baseline returns the Table 1 baseline microarchitecture specification.
+func Baseline() Config {
+	return Config{
+		Width:           4,
+		FetchBufBytes:   64,
+		FetchQueueUops:  32,
+		LocalPredictor:  2048,
+		GlobalPredictor: 8192,
+		RASEntries:      16,
+		BTBEntries:      4096,
+		ROBEntries:      50,
+		IntRF:           50,
+		FpRF:            50,
+		IQEntries:       32,
+		LQEntries:       24,
+		SQEntries:       24,
+		IntALU:          3,
+		IntMultDiv:      1,
+		FpALU:           2,
+		FpMultDiv:       1,
+		RdWrPorts:       1,
+		ICacheKB:        32,
+		ICacheAssoc:     2,
+		DCacheKB:        32,
+		DCacheAssoc:     2,
+	}
+}
+
+// Validate checks structural invariants that the simulator depends on.
+func (c Config) Validate() error {
+	type check struct {
+		name string
+		v    int
+		min  int
+	}
+	checks := []check{
+		{"Width", c.Width, 1},
+		{"FetchBufBytes", c.FetchBufBytes, 4},
+		{"FetchQueueUops", c.FetchQueueUops, 1},
+		{"LocalPredictor", c.LocalPredictor, 2},
+		{"GlobalPredictor", c.GlobalPredictor, 2},
+		{"RASEntries", c.RASEntries, 1},
+		{"BTBEntries", c.BTBEntries, 2},
+		{"ROBEntries", c.ROBEntries, 4},
+		{"IntRF", c.IntRF, 34}, // must cover 32 arch regs + rename headroom
+		{"FpRF", c.FpRF, 34},
+		{"IQEntries", c.IQEntries, 2},
+		{"LQEntries", c.LQEntries, 2},
+		{"SQEntries", c.SQEntries, 2},
+		{"IntALU", c.IntALU, 1},
+		{"IntMultDiv", c.IntMultDiv, 1},
+		{"FpALU", c.FpALU, 1},
+		{"FpMultDiv", c.FpMultDiv, 1},
+		{"RdWrPorts", c.RdWrPorts, 1},
+		{"ICacheKB", c.ICacheKB, 1},
+		{"ICacheAssoc", c.ICacheAssoc, 1},
+		{"DCacheKB", c.DCacheKB, 1},
+		{"DCacheAssoc", c.DCacheAssoc, 1},
+	}
+	for _, ch := range checks {
+		if ch.v < ch.min {
+			return fmt.Errorf("uarch: %s=%d below minimum %d", ch.name, ch.v, ch.min)
+		}
+	}
+	for _, p2 := range []check{
+		{"LocalPredictor", c.LocalPredictor, 0},
+		{"GlobalPredictor", c.GlobalPredictor, 0},
+		{"BTBEntries", c.BTBEntries, 0},
+	} {
+		if p2.v&(p2.v-1) != 0 {
+			return fmt.Errorf("uarch: %s=%d must be a power of two", p2.name, p2.v)
+		}
+	}
+	return nil
+}
+
+// String renders the configuration as a compact single-line spec.
+func (c Config) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "W%d FB%d FQ%d BP%d/%d RAS%d BTB%d ROB%d IRF%d FRF%d IQ%d LQ%d SQ%d",
+		c.Width, c.FetchBufBytes, c.FetchQueueUops,
+		c.LocalPredictor, c.GlobalPredictor, c.RASEntries, c.BTBEntries,
+		c.ROBEntries, c.IntRF, c.FpRF, c.IQEntries, c.LQEntries, c.SQEntries)
+	fmt.Fprintf(&b, " ALU%d MD%d FALU%d FMD%d I$%dKB/%d D$%dKB/%d",
+		c.IntALU, c.IntMultDiv, c.FpALU, c.FpMultDiv,
+		c.ICacheKB, c.ICacheAssoc, c.DCacheKB, c.DCacheAssoc)
+	return b.String()
+}
+
+// Resource identifies a hardware structure for bottleneck attribution.
+// The set matches the resources the paper's critical path blames: back-end
+// queue capacities, rename register files, functional units, memory ports,
+// the branch predictor (via misprediction edges), and the two first-level
+// caches (via access-latency edges).
+type Resource uint8
+
+const (
+	ResNone     Resource = iota // unattributed (virtual or pure pipeline edges)
+	ResFrontend                 // fetch buffer / fetch queue / pipeline width
+	ResROB
+	ResIQ
+	ResLQ
+	ResSQ
+	ResIntRF
+	ResFpRF
+	ResIntALU
+	ResIntMultDiv
+	ResFpALU
+	ResFpMultDiv
+	ResRdWrPort
+	ResBranchPred // misprediction squash latency
+	ResICache     // instruction fetch latency beyond the pipelined hit
+	ResDCache     // data access latency (misses, bank conflicts)
+	ResRawDep     // true data dependence (not a hardware resource)
+	numResources
+)
+
+// NumResources is the number of distinct attribution targets.
+const NumResources = int(numResources)
+
+var resourceNames = [...]string{
+	ResNone:       "None",
+	ResFrontend:   "Frontend",
+	ResROB:        "ROB",
+	ResIQ:         "IQ",
+	ResLQ:         "LQ",
+	ResSQ:         "SQ",
+	ResIntRF:      "IntRF",
+	ResFpRF:       "FpRF",
+	ResIntALU:     "IntALU",
+	ResIntMultDiv: "IntMultDiv",
+	ResFpALU:      "FpALU",
+	ResFpMultDiv:  "FpMultDiv",
+	ResRdWrPort:   "RdWrPort",
+	ResBranchPred: "BranchPred",
+	ResICache:     "ICache",
+	ResDCache:     "DCache",
+	ResRawDep:     "RawDep",
+}
+
+func (r Resource) String() string {
+	if int(r) < len(resourceNames) {
+		return resourceNames[r]
+	}
+	return fmt.Sprintf("Resource(%d)", uint8(r))
+}
+
+// Resources returns every attributable resource in display order.
+func Resources() []Resource {
+	out := make([]Resource, 0, NumResources-1)
+	for r := Resource(1); r < numResources; r++ {
+		out = append(out, r)
+	}
+	return out
+}

@@ -1,0 +1,364 @@
+package uarch
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Param enumerates the tunable design-space dimensions of Table 4.
+type Param uint8
+
+const (
+	ParamWidth Param = iota
+	ParamFetchBuf
+	ParamFetchQueue
+	ParamLocalPred
+	ParamGlobalPred
+	ParamRAS
+	ParamBTB
+	ParamROB
+	ParamIntRF
+	ParamFpRF
+	ParamIQ
+	ParamLQ
+	ParamSQ
+	ParamIntALU
+	ParamIntMultDiv
+	ParamFpALU
+	ParamFpMultDiv
+	ParamICacheKB
+	ParamICacheAssoc
+	ParamDCacheKB
+	ParamDCacheAssoc
+	numParams
+)
+
+// NumParams is the number of swept dimensions (21, per Table 4).
+const NumParams = int(numParams)
+
+var paramNames = [...]string{
+	ParamWidth:       "Width",
+	ParamFetchBuf:    "FetchBuf",
+	ParamFetchQueue:  "FetchQueue",
+	ParamLocalPred:   "LocalPred",
+	ParamGlobalPred:  "GlobalPred",
+	ParamRAS:         "RAS",
+	ParamBTB:         "BTB",
+	ParamROB:         "ROB",
+	ParamIntRF:       "IntRF",
+	ParamFpRF:        "FpRF",
+	ParamIQ:          "IQ",
+	ParamLQ:          "LQ",
+	ParamSQ:          "SQ",
+	ParamIntALU:      "IntALU",
+	ParamIntMultDiv:  "IntMultDiv",
+	ParamFpALU:       "FpALU",
+	ParamFpMultDiv:   "FpMultDiv",
+	ParamICacheKB:    "ICacheKB",
+	ParamICacheAssoc: "ICacheAssoc",
+	ParamDCacheKB:    "DCacheKB",
+	ParamDCacheAssoc: "DCacheAssoc",
+}
+
+func (p Param) String() string {
+	if int(p) < len(paramNames) {
+		return paramNames[p]
+	}
+	return fmt.Sprintf("Param(%d)", uint8(p))
+}
+
+func seq(start, end, stride int) []int {
+	var out []int
+	for v := start; v <= end; v += stride {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Space is the candidate-value table for every parameter: the design space
+// is the cross product of all value lists.
+type Space struct {
+	values [NumParams][]int
+}
+
+// StandardSpace returns the Table 4 design space
+// (size 8 * 3 * 11 * 3 * 3 * 13 * 3 * 15 * 18 * 18 * 9 * 8 * 8 * 4 * 2 * 2 * 2 * 3 * 2 * 3 * 2
+// ≈ 8.96e14 points).
+func StandardSpace() *Space {
+	s := &Space{}
+	s.values[ParamWidth] = seq(1, 8, 1)
+	s.values[ParamFetchBuf] = []int{16, 32, 64}
+	s.values[ParamFetchQueue] = seq(8, 48, 4)
+	s.values[ParamLocalPred] = []int{512, 1024, 2048}
+	s.values[ParamGlobalPred] = []int{2048, 4096, 8192}
+	s.values[ParamRAS] = seq(16, 40, 2)
+	s.values[ParamBTB] = []int{1024, 2048, 4096}
+	s.values[ParamROB] = seq(32, 256, 16)
+	s.values[ParamIntRF] = seq(40, 304, 8)
+	s.values[ParamFpRF] = seq(40, 304, 8)
+	s.values[ParamIQ] = seq(16, 80, 8)
+	s.values[ParamLQ] = seq(20, 48, 4)
+	s.values[ParamSQ] = seq(20, 48, 4)
+	s.values[ParamIntALU] = seq(3, 6, 1)
+	s.values[ParamIntMultDiv] = []int{1, 2}
+	s.values[ParamFpALU] = []int{1, 2}
+	s.values[ParamFpMultDiv] = []int{1, 2}
+	s.values[ParamICacheKB] = []int{16, 32, 64}
+	s.values[ParamICacheAssoc] = []int{2, 4}
+	s.values[ParamDCacheKB] = []int{16, 32, 64}
+	s.values[ParamDCacheAssoc] = []int{2, 4}
+	return s
+}
+
+// Values returns the candidate list for a parameter. The returned slice must
+// not be modified.
+func (s *Space) Values(p Param) []int { return s.values[p] }
+
+// Levels returns the number of candidate values for a parameter.
+func (s *Space) Levels(p Param) int { return len(s.values[p]) }
+
+// Size returns the total number of design points in the space.
+func (s *Space) Size() float64 {
+	total := 1.0
+	for _, vs := range s.values {
+		total *= float64(len(vs))
+	}
+	return total
+}
+
+// Point is a design point given as per-parameter value indices.
+type Point [NumParams]int
+
+// Decode materialises a Point into a Config.
+func (s *Space) Decode(pt Point) Config {
+	get := func(p Param) int { return s.values[p][pt[p]] }
+	return Config{
+		Width:           get(ParamWidth),
+		FetchBufBytes:   get(ParamFetchBuf),
+		FetchQueueUops:  get(ParamFetchQueue),
+		LocalPredictor:  get(ParamLocalPred),
+		GlobalPredictor: get(ParamGlobalPred),
+		RASEntries:      get(ParamRAS),
+		BTBEntries:      get(ParamBTB),
+		ROBEntries:      get(ParamROB),
+		IntRF:           get(ParamIntRF),
+		FpRF:            get(ParamFpRF),
+		IQEntries:       get(ParamIQ),
+		LQEntries:       get(ParamLQ),
+		SQEntries:       get(ParamSQ),
+		IntALU:          get(ParamIntALU),
+		IntMultDiv:      get(ParamIntMultDiv),
+		FpALU:           get(ParamFpALU),
+		FpMultDiv:       get(ParamFpMultDiv),
+		RdWrPorts:       1,
+		ICacheKB:        get(ParamICacheKB),
+		ICacheAssoc:     get(ParamICacheAssoc),
+		DCacheKB:        get(ParamDCacheKB),
+		DCacheAssoc:     get(ParamDCacheAssoc),
+	}
+}
+
+// Encode maps a Config back to value indices. It returns an error if any
+// field holds a value outside the candidate list.
+func (s *Space) Encode(c Config) (Point, error) {
+	fields := [NumParams]int{
+		ParamWidth:       c.Width,
+		ParamFetchBuf:    c.FetchBufBytes,
+		ParamFetchQueue:  c.FetchQueueUops,
+		ParamLocalPred:   c.LocalPredictor,
+		ParamGlobalPred:  c.GlobalPredictor,
+		ParamRAS:         c.RASEntries,
+		ParamBTB:         c.BTBEntries,
+		ParamROB:         c.ROBEntries,
+		ParamIntRF:       c.IntRF,
+		ParamFpRF:        c.FpRF,
+		ParamIQ:          c.IQEntries,
+		ParamLQ:          c.LQEntries,
+		ParamSQ:          c.SQEntries,
+		ParamIntALU:      c.IntALU,
+		ParamIntMultDiv:  c.IntMultDiv,
+		ParamFpALU:       c.FpALU,
+		ParamFpMultDiv:   c.FpMultDiv,
+		ParamICacheKB:    c.ICacheKB,
+		ParamICacheAssoc: c.ICacheAssoc,
+		ParamDCacheKB:    c.DCacheKB,
+		ParamDCacheAssoc: c.DCacheAssoc,
+	}
+	var pt Point
+	for p := Param(0); p < numParams; p++ {
+		idx := -1
+		for i, v := range s.values[p] {
+			if v == fields[p] {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return pt, fmt.Errorf("uarch: %s=%d not in design space", p, fields[p])
+		}
+		pt[p] = idx
+	}
+	return pt, nil
+}
+
+// Contains reports whether the configuration is expressible in the space.
+func (s *Space) Contains(c Config) bool {
+	_, err := s.Encode(c)
+	return err == nil
+}
+
+// Random samples a uniform design point using r.
+func (s *Space) Random(r *rand.Rand) Point {
+	var pt Point
+	for p := 0; p < NumParams; p++ {
+		pt[p] = r.Intn(len(s.values[p]))
+	}
+	return pt
+}
+
+// Step moves parameter p of pt by delta candidate positions, clamping to the
+// candidate range. It reports whether the point changed.
+func (s *Space) Step(pt *Point, p Param, delta int) bool {
+	idx := pt[p] + delta
+	if idx < 0 {
+		idx = 0
+	}
+	if max := len(s.values[p]) - 1; idx > max {
+		idx = max
+	}
+	if idx == pt[p] {
+		return false
+	}
+	pt[p] = idx
+	return true
+}
+
+// Clamp snaps a configuration to the nearest expressible design point,
+// rounding each field to the closest candidate value.
+func (s *Space) Clamp(c Config) Config {
+	pt := s.Nearest(c)
+	out := s.Decode(pt)
+	out.RdWrPorts = c.RdWrPorts
+	if out.RdWrPorts == 0 {
+		out.RdWrPorts = 1
+	}
+	return out
+}
+
+// Nearest returns the design point whose value is closest to the given
+// configuration in every dimension independently.
+func (s *Space) Nearest(c Config) Point {
+	fields := [NumParams]int{
+		ParamWidth:       c.Width,
+		ParamFetchBuf:    c.FetchBufBytes,
+		ParamFetchQueue:  c.FetchQueueUops,
+		ParamLocalPred:   c.LocalPredictor,
+		ParamGlobalPred:  c.GlobalPredictor,
+		ParamRAS:         c.RASEntries,
+		ParamBTB:         c.BTBEntries,
+		ParamROB:         c.ROBEntries,
+		ParamIntRF:       c.IntRF,
+		ParamFpRF:        c.FpRF,
+		ParamIQ:          c.IQEntries,
+		ParamLQ:          c.LQEntries,
+		ParamSQ:          c.SQEntries,
+		ParamIntALU:      c.IntALU,
+		ParamIntMultDiv:  c.IntMultDiv,
+		ParamFpALU:       c.FpALU,
+		ParamFpMultDiv:   c.FpMultDiv,
+		ParamICacheKB:    c.ICacheKB,
+		ParamICacheAssoc: c.ICacheAssoc,
+		ParamDCacheKB:    c.DCacheKB,
+		ParamDCacheAssoc: c.DCacheAssoc,
+	}
+	var pt Point
+	for p := Param(0); p < numParams; p++ {
+		best, bestDist := 0, -1
+		for i, v := range s.values[p] {
+			d := v - fields[p]
+			if d < 0 {
+				d = -d
+			}
+			if bestDist < 0 || d < bestDist {
+				best, bestDist = i, d
+			}
+		}
+		pt[p] = best
+	}
+	return pt
+}
+
+// ResourceParams maps a bottleneck resource to the design-space parameters
+// that provision it. Resources outside the swept space (read/write ports)
+// or that are not hardware structures (RawDep) map to nil.
+func ResourceParams(r Resource) []Param {
+	switch r {
+	case ResFrontend:
+		return []Param{ParamWidth, ParamFetchQueue, ParamFetchBuf}
+	case ResROB:
+		return []Param{ParamROB}
+	case ResIQ:
+		return []Param{ParamIQ}
+	case ResLQ:
+		return []Param{ParamLQ}
+	case ResSQ:
+		return []Param{ParamSQ}
+	case ResIntRF:
+		return []Param{ParamIntRF}
+	case ResFpRF:
+		return []Param{ParamFpRF}
+	case ResIntALU:
+		return []Param{ParamIntALU}
+	case ResIntMultDiv:
+		return []Param{ParamIntMultDiv}
+	case ResFpALU:
+		return []Param{ParamFpALU}
+	case ResFpMultDiv:
+		return []Param{ParamFpMultDiv}
+	case ResBranchPred:
+		return []Param{ParamGlobalPred, ParamLocalPred, ParamBTB, ParamRAS}
+	case ResICache:
+		return []Param{ParamICacheKB, ParamICacheAssoc}
+	case ResDCache:
+		return []Param{ParamDCacheKB, ParamDCacheAssoc}
+	default:
+		return nil
+	}
+}
+
+// ParamResource is the inverse of ResourceParams: which resource a
+// parameter provisions (used when shrinking abundant structures).
+func ParamResource(p Param) Resource {
+	switch p {
+	case ParamWidth, ParamFetchBuf, ParamFetchQueue:
+		return ResFrontend
+	case ParamLocalPred, ParamGlobalPred, ParamRAS, ParamBTB:
+		return ResBranchPred
+	case ParamROB:
+		return ResROB
+	case ParamIntRF:
+		return ResIntRF
+	case ParamFpRF:
+		return ResFpRF
+	case ParamIQ:
+		return ResIQ
+	case ParamLQ:
+		return ResLQ
+	case ParamSQ:
+		return ResSQ
+	case ParamIntALU:
+		return ResIntALU
+	case ParamIntMultDiv:
+		return ResIntMultDiv
+	case ParamFpALU:
+		return ResFpALU
+	case ParamFpMultDiv:
+		return ResFpMultDiv
+	case ParamICacheKB, ParamICacheAssoc:
+		return ResICache
+	case ParamDCacheKB, ParamDCacheAssoc:
+		return ResDCache
+	default:
+		return ResNone
+	}
+}

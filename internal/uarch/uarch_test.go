@@ -1,0 +1,190 @@
+package uarch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBaselineMatchesTable1(t *testing.T) {
+	b := Baseline()
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Width != 4 || b.ROBEntries != 50 || b.IQEntries != 32 ||
+		b.LQEntries != 24 || b.SQEntries != 24 || b.IntRF != 50 || b.FpRF != 50 {
+		t.Errorf("baseline drifted from Table 1: %+v", b)
+	}
+	if b.IntALU != 3 || b.IntMultDiv != 1 || b.FpALU != 2 || b.FpMultDiv != 1 || b.RdWrPorts != 1 {
+		t.Errorf("baseline FUs drifted from Table 1")
+	}
+	if b.ICacheKB != 32 || b.DCacheKB != 32 || b.ICacheAssoc != 2 || b.DCacheAssoc != 2 {
+		t.Errorf("baseline caches drifted from Table 1")
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Width = 0 },
+		func(c *Config) { c.ROBEntries = 1 },
+		func(c *Config) { c.IntRF = 32 },        // no rename headroom
+		func(c *Config) { c.BTBEntries = 1000 }, // not a power of two
+		func(c *Config) { c.LocalPredictor = 1234 },
+		func(c *Config) { c.RdWrPorts = 0 },
+	}
+	for i, mutate := range bad {
+		c := Baseline()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error for %s", i, c)
+		}
+	}
+}
+
+func TestStandardSpaceSizeMatchesTable4(t *testing.T) {
+	s := StandardSpace()
+	// Table 4's value ranges ("start:end:stride") multiply to ~1.07e15;
+	// the paper's own "#" column and its stated total of 8.9649e14 are
+	// mutually inconsistent with those ranges, so this repo follows the
+	// ranges and pins the resulting size.
+	want := 1.0662e15
+	if got := s.Size(); math.Abs(got-want)/want > 0.01 {
+		t.Fatalf("space size %.4e, want %.4e", got, want)
+	}
+	// Per-parameter cardinalities from Table 4.
+	counts := map[Param]int{
+		ParamWidth: 8, ParamFetchBuf: 3, ParamFetchQueue: 11,
+		ParamLocalPred: 3, ParamGlobalPred: 3, ParamRAS: 13, ParamBTB: 3,
+		ParamROB: 15, ParamIntRF: 34, ParamFpRF: 34, ParamIQ: 9, // RF ranges per Table 4's "40:304:8"
+		ParamLQ: 8, ParamSQ: 8, ParamIntALU: 4, ParamIntMultDiv: 2,
+		ParamFpALU: 2, ParamFpMultDiv: 2, ParamICacheKB: 3,
+		ParamICacheAssoc: 2, ParamDCacheKB: 3, ParamDCacheAssoc: 2,
+	}
+	for p, want := range counts {
+		if got := s.Levels(p); got != want {
+			t.Errorf("%s: %d levels, Table 4 has %d", p, got, want)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := StandardSpace()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		pt := s.Random(rng)
+		cfg := s.Decode(pt)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("decoded config invalid: %v (%s)", err, cfg)
+		}
+		back, err := s.Encode(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back != pt {
+			t.Fatalf("round trip %v -> %v", pt, back)
+		}
+		if !s.Contains(cfg) {
+			t.Fatal("Contains false for decoded config")
+		}
+	}
+}
+
+func TestEncodeRejectsOffGrid(t *testing.T) {
+	s := StandardSpace()
+	if _, err := s.Encode(Baseline()); err == nil {
+		t.Fatal("Table 1 baseline (ROB=50) should be off the Table 4 grid")
+	}
+	if s.Contains(Baseline()) {
+		t.Fatal("Contains should reject the off-grid baseline")
+	}
+}
+
+func TestNearestAndClamp(t *testing.T) {
+	s := StandardSpace()
+	pt := s.Nearest(Baseline())
+	cfg := s.Decode(pt)
+	// ROB 50 must snap to 48 (nearest of 32:256:16).
+	if cfg.ROBEntries != 48 {
+		t.Errorf("ROB snapped to %d, want 48", cfg.ROBEntries)
+	}
+	if cfg.IntRF != 48 {
+		t.Errorf("IntRF snapped to %d, want 48", cfg.IntRF)
+	}
+	cl := s.Clamp(Baseline())
+	if !s.Contains(cl) {
+		t.Error("Clamp result not in space")
+	}
+	if cl.RdWrPorts != 1 {
+		t.Errorf("Clamp lost RdWrPorts: %d", cl.RdWrPorts)
+	}
+}
+
+func TestStepClamps(t *testing.T) {
+	s := StandardSpace()
+	var pt Point
+	if s.Step(&pt, ParamROB, -1) {
+		t.Error("step below floor should not move")
+	}
+	if !s.Step(&pt, ParamROB, 3) || pt[ParamROB] != 3 {
+		t.Error("step +3 failed")
+	}
+	if !s.Step(&pt, ParamROB, 100) || pt[ParamROB] != s.Levels(ParamROB)-1 {
+		t.Error("step should clamp at ceiling")
+	}
+	if s.Step(&pt, ParamROB, 1) {
+		t.Error("step at ceiling should not move")
+	}
+}
+
+func TestResourceParamsInverse(t *testing.T) {
+	// Every parameter maps to a resource whose parameter list contains it.
+	for p := Param(0); p < Param(NumParams); p++ {
+		res := ParamResource(p)
+		if res == ResNone {
+			t.Errorf("%s has no resource", p)
+			continue
+		}
+		found := false
+		for _, q := range ResourceParams(res) {
+			if q == p {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s -> %s, but ResourceParams(%s) misses it", p, res, res)
+		}
+	}
+	if ResourceParams(ResRdWrPort) != nil {
+		t.Error("RdWrPort is not swept and must map to no parameters")
+	}
+	if ResourceParams(ResRawDep) != nil {
+		t.Error("RawDep is not a hardware resource")
+	}
+}
+
+func TestResourcesListing(t *testing.T) {
+	rs := Resources()
+	if len(rs) != NumResources-1 {
+		t.Fatalf("Resources() returned %d entries", len(rs))
+	}
+	for _, r := range rs {
+		if r == ResNone {
+			t.Fatal("ResNone must not be listed")
+		}
+		if r.String() == "" {
+			t.Fatalf("resource %d unnamed", r)
+		}
+	}
+}
+
+func TestRandomPointsAlwaysDecodeValid(t *testing.T) {
+	s := StandardSpace()
+	f := func(seed int64) bool {
+		pt := s.Random(rand.New(rand.NewSource(seed)))
+		return s.Decode(pt).Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,371 @@
+// Package viz provides the small visualisation toolkit the experiment
+// harness uses: PCA and t-SNE projections (Figure 1's design-space view)
+// and ASCII renderings of scatter plots, curves, and bar charts so every
+// figure of the paper can be regenerated on a terminal.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// PCA projects rows of x (n × d) onto their top-2 principal components
+// using power iteration on the covariance matrix.
+func PCA(x [][]float64) [][2]float64 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	d := len(x[0])
+
+	// Centre.
+	mean := make([]float64, d)
+	for _, row := range x {
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+	c := make([][]float64, n)
+	for i, row := range x {
+		c[i] = make([]float64, d)
+		for j, v := range row {
+			c[i][j] = v - mean[j]
+		}
+	}
+
+	// Covariance (d × d).
+	cov := make([][]float64, d)
+	for i := range cov {
+		cov[i] = make([]float64, d)
+	}
+	for _, row := range c {
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				cov[i][j] += row[i] * row[j]
+			}
+		}
+	}
+	for i := range cov {
+		for j := range cov[i] {
+			cov[i][j] /= float64(n)
+		}
+	}
+
+	// Top-2 eigenvectors by power iteration with deflation.
+	rng := rand.New(rand.NewSource(1))
+	var comps [2][]float64
+	for k := 0; k < 2; k++ {
+		v := make([]float64, d)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		for it := 0; it < 100; it++ {
+			w := make([]float64, d)
+			for i := 0; i < d; i++ {
+				for j := 0; j < d; j++ {
+					w[i] += cov[i][j] * v[j]
+				}
+			}
+			// Deflate previously found components.
+			for p := 0; p < k; p++ {
+				var dot float64
+				for j := range w {
+					dot += w[j] * comps[p][j]
+				}
+				for j := range w {
+					w[j] -= dot * comps[p][j]
+				}
+			}
+			norm := 0.0
+			for _, val := range w {
+				norm += val * val
+			}
+			norm = math.Sqrt(norm)
+			if norm < 1e-12 {
+				break
+			}
+			for j := range w {
+				w[j] /= norm
+			}
+			v = w
+		}
+		comps[k] = v
+	}
+
+	out := make([][2]float64, n)
+	for i, row := range c {
+		for k := 0; k < 2; k++ {
+			var s float64
+			for j := range row {
+				s += row[j] * comps[k][j]
+			}
+			out[i][k] = s
+		}
+	}
+	return out
+}
+
+// TSNE embeds rows of x into 2D with a basic exact t-SNE (suitable for the
+// few hundred points of Figure 1). Deterministic given the seed.
+func TSNE(x [][]float64, perplexity float64, iters int, seed int64) [][2]float64 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if perplexity <= 0 {
+		perplexity = 20
+	}
+	if iters <= 0 {
+		iters = 300
+	}
+
+	// Pairwise squared distances.
+	d2 := make([][]float64, n)
+	for i := range d2 {
+		d2[i] = make([]float64, n)
+		for j := range d2[i] {
+			if i == j {
+				continue
+			}
+			var s float64
+			for k := range x[i] {
+				diff := x[i][k] - x[j][k]
+				s += diff * diff
+			}
+			d2[i][j] = s
+		}
+	}
+
+	// Conditional probabilities with per-point bandwidth found by binary
+	// search on the perplexity.
+	p := make([][]float64, n)
+	logPerp := math.Log(perplexity)
+	for i := 0; i < n; i++ {
+		p[i] = make([]float64, n)
+		lo, hi := 1e-20, 1e20
+		beta := 1.0
+		for it := 0; it < 50; it++ {
+			var sum, hsum float64
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				e := math.Exp(-d2[i][j] * beta)
+				p[i][j] = e
+				sum += e
+				hsum += e * d2[i][j]
+			}
+			if sum < 1e-300 {
+				sum = 1e-300
+			}
+			h := math.Log(sum) + beta*hsum/sum
+			if math.Abs(h-logPerp) < 1e-4 {
+				break
+			}
+			if h > logPerp {
+				lo = beta
+				if hi > 1e19 {
+					beta *= 2
+				} else {
+					beta = (beta + hi) / 2
+				}
+			} else {
+				hi = beta
+				beta = (beta + lo) / 2
+			}
+		}
+		var sum float64
+		for j := range p[i] {
+			sum += p[i][j]
+		}
+		if sum > 0 {
+			for j := range p[i] {
+				p[i][j] /= sum
+			}
+		}
+	}
+	// Symmetrise.
+	pj := make([][]float64, n)
+	for i := range pj {
+		pj[i] = make([]float64, n)
+		for j := range pj[i] {
+			pj[i][j] = (p[i][j] + p[j][i]) / (2 * float64(n))
+			if pj[i][j] < 1e-12 {
+				pj[i][j] = 1e-12
+			}
+		}
+	}
+
+	// Gradient descent with momentum.
+	rng := rand.New(rand.NewSource(seed))
+	y := make([][2]float64, n)
+	vel := make([][2]float64, n)
+	for i := range y {
+		y[i][0] = rng.NormFloat64() * 1e-2
+		y[i][1] = rng.NormFloat64() * 1e-2
+	}
+	lr, momentum := 100.0, 0.5
+	for it := 0; it < iters; it++ {
+		if it == 100 {
+			momentum = 0.8
+		}
+		// Student-t affinities.
+		q := make([][]float64, n)
+		var qsum float64
+		for i := range q {
+			q[i] = make([]float64, n)
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				dx := y[i][0] - y[j][0]
+				dy := y[i][1] - y[j][1]
+				q[i][j] = 1 / (1 + dx*dx + dy*dy)
+				qsum += q[i][j]
+			}
+		}
+		exag := 1.0
+		if it < 50 {
+			exag = 4.0
+		}
+		for i := 0; i < n; i++ {
+			var gx, gy float64
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				qn := q[i][j] / qsum
+				if qn < 1e-12 {
+					qn = 1e-12
+				}
+				mult := (exag*pj[i][j] - qn) * q[i][j]
+				gx += mult * (y[i][0] - y[j][0])
+				gy += mult * (y[i][1] - y[j][1])
+			}
+			vel[i][0] = momentum*vel[i][0] - lr*gx
+			vel[i][1] = momentum*vel[i][1] - lr*gy
+		}
+		for i := range y {
+			y[i][0] += vel[i][0]
+			y[i][1] += vel[i][1]
+		}
+	}
+	return y
+}
+
+// Scatter renders points as an ASCII scatter plot of the given size, with
+// each point drawn using its rune (later points overwrite earlier ones).
+func Scatter(xs, ys []float64, glyphs []rune, width, height int, title string) string {
+	if width < 8 {
+		width = 60
+	}
+	if height < 4 {
+		height = 20
+	}
+	minX, maxX := minMax(xs)
+	minY, maxY := minMax(ys)
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", width))
+	}
+	for i := range xs {
+		cx := int(float64(width-1) * (xs[i] - minX) / (maxX - minX))
+		cy := int(float64(height-1) * (ys[i] - minY) / (maxY - minY))
+		g := '*'
+		if i < len(glyphs) {
+			g = glyphs[i]
+		}
+		grid[height-1-cy][cx] = g
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	fmt.Fprintf(&b, "y: [%.4g, %.4g]\n", minY, maxY)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.WriteString(string(row))
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "x: [%.4g, %.4g]\n", minX, maxX)
+	return b.String()
+}
+
+// Bars renders a labelled horizontal bar chart; values may be negative.
+func Bars(labels []string, values []float64, width int, title string) string {
+	if width < 10 {
+		width = 50
+	}
+	maxAbs := 0.0
+	maxLabel := 0
+	for i, v := range values {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+		if len(labels[i]) > maxLabel {
+			maxLabel = len(labels[i])
+		}
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for i, v := range values {
+		n := int(math.Abs(v) / maxAbs * float64(width))
+		bar := strings.Repeat("#", n)
+		sign := " "
+		if v < 0 {
+			sign = "-"
+		}
+		fmt.Fprintf(&b, "%-*s %s%-*s %+.3g\n", maxLabel, labels[i], sign, width, bar, v)
+	}
+	return b.String()
+}
+
+// Curves renders multiple named series sharing an x-axis as aligned rows
+// of values (a terminal-friendly stand-in for the paper's line plots).
+func Curves(xs []int, series map[string][]float64, order []string, title string) string {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	fmt.Fprintf(&b, "%-16s", "x")
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%10d", x)
+	}
+	b.WriteString("\n")
+	for _, name := range order {
+		fmt.Fprintf(&b, "%-16s", name)
+		for _, v := range series[name] {
+			fmt.Fprintf(&b, "%10.4f", v)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func minMax(vs []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range vs {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if math.IsInf(lo, 1) {
+		return 0, 1
+	}
+	return lo, hi
+}

@@ -1,0 +1,112 @@
+package viz
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestPCARecoversDominantAxis(t *testing.T) {
+	// Points along (1, 2, 0) with small noise: PC1 projections must
+	// correlate almost perfectly with the latent coordinate.
+	rng := rand.New(rand.NewSource(2))
+	var x [][]float64
+	var latent []float64
+	for i := 0; i < 200; i++ {
+		s := rng.NormFloat64() * 5
+		latent = append(latent, s)
+		x = append(x, []float64{
+			1*s + rng.NormFloat64()*0.01,
+			2*s + rng.NormFloat64()*0.01,
+			rng.NormFloat64() * 0.01,
+		})
+	}
+	proj := PCA(x)
+	var dot, n1, n2 float64
+	for i := range proj {
+		dot += proj[i][0] * latent[i]
+		n1 += proj[i][0] * proj[i][0]
+		n2 += latent[i] * latent[i]
+	}
+	corr := math.Abs(dot / math.Sqrt(n1*n2))
+	if corr < 0.999 {
+		t.Fatalf("PC1 correlation %.4f with latent axis", corr)
+	}
+}
+
+func TestPCAEmpty(t *testing.T) {
+	if PCA(nil) != nil {
+		t.Fatal("PCA(nil) should be nil")
+	}
+}
+
+func TestTSNEKeepsClustersApart(t *testing.T) {
+	// Two well-separated 5D clusters must stay separated in 2D.
+	rng := rand.New(rand.NewSource(4))
+	var x [][]float64
+	n := 40
+	for i := 0; i < n; i++ {
+		base := 0.0
+		if i >= n/2 {
+			base = 10.0
+		}
+		row := make([]float64, 5)
+		for j := range row {
+			row[j] = base + rng.NormFloat64()*0.3
+		}
+		x = append(x, row)
+	}
+	emb := TSNE(x, 10, 200, 1)
+	// Mean intra-cluster distance must be far below inter-cluster.
+	dist := func(a, b [2]float64) float64 {
+		dx, dy := a[0]-b[0], a[1]-b[1]
+		return math.Sqrt(dx*dx + dy*dy)
+	}
+	var intra, inter float64
+	var ni, nx int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := dist(emb[i], emb[j])
+			if (i < n/2) == (j < n/2) {
+				intra += d
+				ni++
+			} else {
+				inter += d
+				nx++
+			}
+		}
+	}
+	intra /= float64(ni)
+	inter /= float64(nx)
+	if inter < 2*intra {
+		t.Fatalf("t-SNE merged clusters: intra %.3f inter %.3f", intra, inter)
+	}
+}
+
+func TestScatterRendersAllPoints(t *testing.T) {
+	out := Scatter([]float64{0, 1, 2}, []float64{0, 1, 2}, []rune{'a', 'b', 'c'}, 30, 10, "demo")
+	for _, g := range []string{"a", "b", "c", "demo"} {
+		if !strings.Contains(out, g) {
+			t.Fatalf("scatter missing %q:\n%s", g, out)
+		}
+	}
+}
+
+func TestBarsHandlesNegatives(t *testing.T) {
+	out := Bars([]string{"up", "down"}, []float64{5, -3}, 20, "bars")
+	if !strings.Contains(out, "up") || !strings.Contains(out, "down") {
+		t.Fatal("labels missing")
+	}
+	if !strings.Contains(out, "+5") || !strings.Contains(out, "-3") {
+		t.Fatalf("values missing:\n%s", out)
+	}
+}
+
+func TestCurvesAligned(t *testing.T) {
+	out := Curves([]int{10, 20}, map[string][]float64{"a": {1, 2}, "b": {3, 4}}, []string{"a", "b"}, "t")
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title, header, two series
+		t.Fatalf("unexpected layout:\n%s", out)
+	}
+}

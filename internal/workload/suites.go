@@ -1,0 +1,161 @@
+package workload
+
+import (
+	"fmt"
+	"sync"
+
+	"archexplorer/internal/isa"
+)
+
+// The profiles below imitate the SPEC CPU2006/2017 workloads of Table 3.
+// Parameters are chosen from the workloads' published characterisations:
+// e.g. mcf is pointer-chasing with a large footprint and poor locality,
+// libquantum/lbm are streaming, sjeng/deepsjeng/gobmk are branchy integer
+// code with mediocre predictability, namd/cactuBSSN are FP-dense with long
+// dependence chains, xz/bzip2 are integer compress kernels with frequent
+// stores, perlbench/gcc/xalancbmk are call-heavy with large instruction
+// footprints.
+
+// Suite06 returns the 12 SPEC CPU2006-like workload profiles.
+func Suite06() []Profile {
+	return []Profile{
+		{Name: "400.perlbench", Suite: "SPEC06", Blocks: 96, BlockMin: 3, BlockMax: 9, CallDepth: 3, CallFrac: 0.30, LoadFrac: 0.26, StoreFrac: 0.12, MulFrac: 0.01, FootprintKB: 384, StreamFrac: 0.25, ChaseFrac: 0.10, ChainFrac: 0.30, BranchBias: 0.88},
+		{Name: "401.bzip2", Suite: "SPEC06", Blocks: 48, BlockMin: 4, BlockMax: 10, LoadFrac: 0.28, StoreFrac: 0.14, MulFrac: 0.02, FootprintKB: 1024, StreamFrac: 0.55, ChaseFrac: 0.02, ChainFrac: 0.38, BranchBias: 0.85},
+		{Name: "429.mcf", Suite: "SPEC06", Blocks: 40, BlockMin: 3, BlockMax: 7, LoadFrac: 0.34, StoreFrac: 0.09, FootprintKB: 8192, StreamFrac: 0.05, ChaseFrac: 0.45, ChainFrac: 0.30, BranchBias: 0.90},
+		{Name: "445.gobmk", Suite: "SPEC06", Blocks: 128, BlockMin: 2, BlockMax: 7, CallDepth: 2, CallFrac: 0.22, LoadFrac: 0.24, StoreFrac: 0.11, FootprintKB: 256, StreamFrac: 0.20, ChaseFrac: 0.08, ChainFrac: 0.25, BranchBias: 0.72},
+		{Name: "444.namd", Suite: "SPEC06", Blocks: 24, BlockMin: 8, BlockMax: 18, FpFrac: 0.34, FpMulFrac: 0.22, LoadFrac: 0.22, StoreFrac: 0.07, FootprintKB: 512, StreamFrac: 0.70, ChaseFrac: 0.0, ChainFrac: 0.45, BranchBias: 0.97},
+		{Name: "447.dealII", Suite: "SPEC06", Blocks: 64, BlockMin: 5, BlockMax: 12, CallDepth: 2, CallFrac: 0.14, FpFrac: 0.24, FpMulFrac: 0.14, LoadFrac: 0.26, StoreFrac: 0.09, FootprintKB: 2048, StreamFrac: 0.45, ChaseFrac: 0.08, ChainFrac: 0.35, BranchBias: 0.92},
+		{Name: "450.soplex", Suite: "SPEC06", Blocks: 56, BlockMin: 4, BlockMax: 11, FpFrac: 0.22, FpMulFrac: 0.12, LoadFrac: 0.30, StoreFrac: 0.08, FootprintKB: 4096, StreamFrac: 0.35, ChaseFrac: 0.15, ChainFrac: 0.30, BranchBias: 0.90},
+		{Name: "453.povray", Suite: "SPEC06", Blocks: 88, BlockMin: 4, BlockMax: 10, CallDepth: 4, CallFrac: 0.26, FpFrac: 0.28, FpMulFrac: 0.16, DivFrac: 0.015, LoadFrac: 0.22, StoreFrac: 0.08, FootprintKB: 128, StreamFrac: 0.30, ChaseFrac: 0.05, ChainFrac: 0.40, BranchBias: 0.85},
+		{Name: "456.hmmer", Suite: "SPEC06", Blocks: 20, BlockMin: 8, BlockMax: 16, LoadFrac: 0.33, StoreFrac: 0.13, MulFrac: 0.03, FootprintKB: 96, StreamFrac: 0.75, ChaseFrac: 0.0, ChainFrac: 0.28, BranchBias: 0.95},
+		{Name: "458.sjeng", Suite: "SPEC06", Blocks: 112, BlockMin: 2, BlockMax: 6, CallDepth: 3, CallFrac: 0.20, LoadFrac: 0.22, StoreFrac: 0.10, MulFrac: 0.015, FootprintKB: 192, StreamFrac: 0.15, ChaseFrac: 0.10, ChainFrac: 0.22, BranchBias: 0.70},
+		{Name: "462.libquantum", Suite: "SPEC06", Blocks: 12, BlockMin: 6, BlockMax: 12, LoadFrac: 0.30, StoreFrac: 0.16, FpFrac: 0.06, FootprintKB: 16384, StreamFrac: 0.92, ChaseFrac: 0.0, ChainFrac: 0.20, BranchBias: 0.98},
+		{Name: "464.h264ref", Suite: "SPEC06", Blocks: 72, BlockMin: 5, BlockMax: 13, LoadFrac: 0.31, StoreFrac: 0.12, MulFrac: 0.05, FootprintKB: 768, StreamFrac: 0.60, ChaseFrac: 0.03, ChainFrac: 0.33, BranchBias: 0.89},
+	}
+}
+
+// Suite17 returns the 14 SPEC CPU2017-like workload profiles.
+func Suite17() []Profile {
+	return []Profile{
+		{Name: "600.perlbench_s", Suite: "SPEC17", Blocks: 104, BlockMin: 3, BlockMax: 9, CallDepth: 3, CallFrac: 0.30, LoadFrac: 0.26, StoreFrac: 0.12, MulFrac: 0.01, FootprintKB: 512, StreamFrac: 0.25, ChaseFrac: 0.10, ChainFrac: 0.30, BranchBias: 0.88},
+		{Name: "602.gcc_s", Suite: "SPEC17", Blocks: 160, BlockMin: 2, BlockMax: 8, CallDepth: 4, CallFrac: 0.26, LoadFrac: 0.27, StoreFrac: 0.13, FootprintKB: 2048, StreamFrac: 0.20, ChaseFrac: 0.15, ChainFrac: 0.27, BranchBias: 0.84},
+		{Name: "605.mcf_s", Suite: "SPEC17", Blocks: 44, BlockMin: 3, BlockMax: 7, LoadFrac: 0.35, StoreFrac: 0.09, FootprintKB: 12288, StreamFrac: 0.05, ChaseFrac: 0.48, ChainFrac: 0.30, BranchBias: 0.90},
+		{Name: "620.omnetpp_s", Suite: "SPEC17", Blocks: 120, BlockMin: 3, BlockMax: 8, CallDepth: 5, CallFrac: 0.32, LoadFrac: 0.30, StoreFrac: 0.12, FootprintKB: 4096, StreamFrac: 0.10, ChaseFrac: 0.30, ChainFrac: 0.28, BranchBias: 0.89},
+		{Name: "623.xalancbmk_s", Suite: "SPEC17", Blocks: 136, BlockMin: 2, BlockMax: 7, CallDepth: 5, CallFrac: 0.34, LoadFrac: 0.31, StoreFrac: 0.10, FootprintKB: 1536, StreamFrac: 0.15, ChaseFrac: 0.20, ChainFrac: 0.25, BranchBias: 0.87},
+		{Name: "625.x264_s", Suite: "SPEC17", Blocks: 64, BlockMin: 6, BlockMax: 14, LoadFrac: 0.32, StoreFrac: 0.13, MulFrac: 0.05, FootprintKB: 1024, StreamFrac: 0.65, ChaseFrac: 0.02, ChainFrac: 0.34, BranchBias: 0.91},
+		{Name: "631.deepsjeng_s", Suite: "SPEC17", Blocks: 112, BlockMin: 2, BlockMax: 6, CallDepth: 3, CallFrac: 0.22, LoadFrac: 0.23, StoreFrac: 0.10, MulFrac: 0.02, FootprintKB: 512, StreamFrac: 0.15, ChaseFrac: 0.10, ChainFrac: 0.22, BranchBias: 0.71},
+		{Name: "641.leela_s", Suite: "SPEC17", Blocks: 96, BlockMin: 3, BlockMax: 8, CallDepth: 3, CallFrac: 0.20, LoadFrac: 0.25, StoreFrac: 0.10, FpFrac: 0.05, FootprintKB: 256, StreamFrac: 0.20, ChaseFrac: 0.12, ChainFrac: 0.26, BranchBias: 0.76},
+		{Name: "648.exchange2_s", Suite: "SPEC17", Blocks: 40, BlockMin: 6, BlockMax: 14, CallDepth: 6, CallFrac: 0.18, LoadFrac: 0.22, StoreFrac: 0.12, MulFrac: 0.02, FootprintKB: 64, StreamFrac: 0.50, ChaseFrac: 0.0, ChainFrac: 0.30, BranchBias: 0.93},
+		{Name: "657.xz_s", Suite: "SPEC17", Blocks: 52, BlockMin: 4, BlockMax: 10, LoadFrac: 0.29, StoreFrac: 0.14, MulFrac: 0.02, FootprintKB: 8192, StreamFrac: 0.40, ChaseFrac: 0.10, ChainFrac: 0.40, BranchBias: 0.83},
+		{Name: "603.cactuBSSN_s", Suite: "SPEC17", Blocks: 16, BlockMin: 12, BlockMax: 24, FpFrac: 0.36, FpMulFrac: 0.24, LoadFrac: 0.24, StoreFrac: 0.08, FootprintKB: 6144, StreamFrac: 0.80, ChaseFrac: 0.0, ChainFrac: 0.42, BranchBias: 0.98},
+		{Name: "619.lbm_s", Suite: "SPEC17", Blocks: 8, BlockMin: 14, BlockMax: 26, FpFrac: 0.32, FpMulFrac: 0.20, LoadFrac: 0.26, StoreFrac: 0.12, FootprintKB: 16384, StreamFrac: 0.95, ChaseFrac: 0.0, ChainFrac: 0.35, BranchBias: 0.99},
+		{Name: "638.imagick_s", Suite: "SPEC17", Blocks: 32, BlockMin: 8, BlockMax: 18, FpFrac: 0.30, FpMulFrac: 0.18, LoadFrac: 0.25, StoreFrac: 0.09, FootprintKB: 512, StreamFrac: 0.70, ChaseFrac: 0.0, ChainFrac: 0.40, BranchBias: 0.96},
+		{Name: "644.nab_s", Suite: "SPEC17", Blocks: 28, BlockMin: 8, BlockMax: 16, FpFrac: 0.28, FpMulFrac: 0.18, DivFrac: 0.01, LoadFrac: 0.26, StoreFrac: 0.08, FootprintKB: 1024, StreamFrac: 0.55, ChaseFrac: 0.05, ChainFrac: 0.38, BranchBias: 0.95},
+	}
+}
+
+// All returns both suites concatenated (26 workloads).
+func All() []Profile {
+	return append(Suite06(), Suite17()...)
+}
+
+// ByName finds a profile in either suite.
+func ByName(name string) (Profile, error) {
+	for _, p := range All() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("workload: unknown workload %q", name)
+}
+
+// profileSeed derives a stable per-workload seed from the profile name so
+// traces are reproducible across runs and machines.
+func profileSeed(name string) int64 {
+	var h uint64 = 1469598103934665603 // FNV-1a
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return int64(h & 0x7fffffffffffffff)
+}
+
+// Trace compiles the profile (if needed) and returns its first n dynamic
+// instructions. Traces are deterministic per (profile name, n).
+func Trace(p Profile, n int) ([]isa.Inst, error) {
+	prog, err := Compile(p, profileSeed(p.Name))
+	if err != nil {
+		return nil, err
+	}
+	return prog.NewGenerator(profileSeed(p.Name) ^ 0x5bd1e995).Trace(n), nil
+}
+
+var traceCache sync.Map // key traceKey -> []isa.Inst
+
+type traceKey struct {
+	name string
+	n    int
+}
+
+// CachedTrace is Trace with process-wide memoisation; the returned slice is
+// shared and must not be modified.
+func CachedTrace(p Profile, n int) ([]isa.Inst, error) {
+	key := traceKey{p.Name, n}
+	if v, ok := traceCache.Load(key); ok {
+		return v.([]isa.Inst), nil
+	}
+	tr, err := Trace(p, n)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := traceCache.LoadOrStore(key, tr)
+	return actual.([]isa.Inst), nil
+}
+
+// MixStats summarises the dynamic instruction mix of a trace.
+type MixStats struct {
+	Total                   int
+	Loads, Stores, Branches int
+	IntAlu, IntMul, IntDiv  int
+	FpAlu, FpMul, FpDiv     int
+	TakenBranches           int
+	Calls, Returns          int
+}
+
+// Mix computes trace statistics.
+func Mix(tr []isa.Inst) MixStats {
+	var m MixStats
+	m.Total = len(tr)
+	for i := range tr {
+		switch tr[i].Class {
+		case isa.OpLoad:
+			m.Loads++
+		case isa.OpStore:
+			m.Stores++
+		case isa.OpBranch:
+			m.Branches++
+			if tr[i].Taken {
+				m.TakenBranches++
+			}
+			switch tr[i].BrKind {
+			case isa.BrCall:
+				m.Calls++
+			case isa.BrRet:
+				m.Returns++
+			}
+		case isa.OpIntAlu:
+			m.IntAlu++
+		case isa.OpIntMult:
+			m.IntMul++
+		case isa.OpIntDiv:
+			m.IntDiv++
+		case isa.OpFpAlu:
+			m.FpAlu++
+		case isa.OpFpMult:
+			m.FpMul++
+		case isa.OpFpDiv:
+			m.FpDiv++
+		}
+	}
+	return m
+}

@@ -1,0 +1,180 @@
+package workload
+
+import (
+	"testing"
+
+	"archexplorer/internal/isa"
+)
+
+func TestAllProfilesValid(t *testing.T) {
+	all := All()
+	if len(all) != 26 {
+		t.Fatalf("expected 26 workloads (12 + 14), got %d", len(all))
+	}
+	n06, n17 := 0, 0
+	seen := map[string]bool{}
+	for _, p := range all {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate workload %s", p.Name)
+		}
+		seen[p.Name] = true
+		switch p.Suite {
+		case "SPEC06":
+			n06++
+		case "SPEC17":
+			n17++
+		default:
+			t.Errorf("%s: unknown suite %q", p.Name, p.Suite)
+		}
+	}
+	if n06 != 12 || n17 != 14 {
+		t.Fatalf("suite sizes %d/%d, want 12/14 (Table 3)", n06, n17)
+	}
+}
+
+func TestValidateCatchesBadProfiles(t *testing.T) {
+	good := Profile{Name: "x", Blocks: 4, BlockMin: 1, BlockMax: 3, FootprintKB: 8}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Profile{
+		{},
+		{Name: "x", Blocks: 1, BlockMin: 1, BlockMax: 2, FootprintKB: 8},
+		{Name: "x", Blocks: 4, BlockMin: 3, BlockMax: 2, FootprintKB: 8},
+		{Name: "x", Blocks: 4, BlockMin: 1, BlockMax: 2, FootprintKB: 0},
+		{Name: "x", Blocks: 4, BlockMin: 1, BlockMax: 2, FootprintKB: 8, LoadFrac: 0.8, StoreFrac: 0.4},
+		{Name: "x", Blocks: 4, BlockMin: 1, BlockMax: 2, FootprintKB: 8, ChaseFrac: 1.5},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("429.mcf")
+	if err != nil || p.Name != "429.mcf" {
+		t.Fatalf("ByName: %v %v", p, err)
+	}
+	if _, err := ByName("999.nope"); err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+}
+
+func TestTraceDeterministic(t *testing.T) {
+	p, _ := ByName("458.sjeng")
+	a, err := Trace(p, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Trace(p, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 3000 || len(b) != 3000 {
+		t.Fatalf("trace lengths %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCachedTraceSharesResult(t *testing.T) {
+	p, _ := ByName("444.namd")
+	a, err := CachedTrace(p, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CachedTrace(p, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] != &b[0] {
+		t.Fatal("cache did not share the trace")
+	}
+}
+
+func TestTraceControlFlowConsistent(t *testing.T) {
+	// Every instruction's PC must equal the previous instruction's NextPC.
+	for _, name := range []string{"458.sjeng", "400.perlbench", "619.lbm_s"} {
+		p, _ := ByName(name)
+		tr, err := Trace(p, 5000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(tr); i++ {
+			if tr[i].PC != tr[i-1].NextPC() {
+				t.Fatalf("%s: control flow broken at %d: %#x after %v", name, i, tr[i].PC, tr[i-1])
+			}
+		}
+	}
+}
+
+func TestTraceMemoryAligned(t *testing.T) {
+	p, _ := ByName("429.mcf")
+	tr, err := Trace(p, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := 0
+	for i := range tr {
+		if !tr[i].Class.IsMem() {
+			continue
+		}
+		if tr[i].Addr%8 != 0 {
+			t.Fatalf("misaligned access %#x", tr[i].Addr)
+		}
+		if tr[i].Addr < 0x100000 {
+			t.Fatalf("access %#x below data region", tr[i].Addr)
+		}
+		if tr[i].Class == isa.OpLoad {
+			loads++
+		}
+	}
+	if loads == 0 {
+		t.Fatal("mcf generated no loads")
+	}
+}
+
+func TestMixMatchesProfileIntent(t *testing.T) {
+	// FP-heavy namd must generate more FP ops than integer-only sjeng;
+	// chasing mcf must have more loads than lbm has branches, etc.
+	mix := func(name string) MixStats {
+		p, _ := ByName(name)
+		tr, err := Trace(p, 8000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Mix(tr)
+	}
+	namd, sjeng := mix("444.namd"), mix("458.sjeng")
+	if namd.FpAlu+namd.FpMul <= sjeng.FpAlu+sjeng.FpMul {
+		t.Error("namd should be FP-heavier than sjeng")
+	}
+	if sjeng.Branches <= namd.Branches {
+		t.Error("sjeng should be branchier than namd")
+	}
+	perl := mix("400.perlbench")
+	if perl.Calls == 0 || perl.Returns == 0 {
+		t.Error("perlbench should exercise calls and returns")
+	}
+}
+
+func TestGeneratorRespectsCount(t *testing.T) {
+	p, _ := ByName("401.bzip2")
+	prog, err := Compile(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := prog.NewGenerator(2)
+	tr := g.Trace(777)
+	if len(tr) != 777 {
+		t.Fatalf("got %d instructions", len(tr))
+	}
+}
