@@ -1,0 +1,25 @@
+# Developer entry points. `make ci` is the gate every change must pass:
+# vet plus the full test suite under the race detector (the parallel
+# evaluator's determinism tests only mean something with -race on).
+
+GO ?= go
+
+.PHONY: build vet test race bench ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One regeneration per experiment plus the evaluator fan-out comparison.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+ci: vet race

@@ -9,6 +9,7 @@ package archexplorer
 
 import (
 	"bytes"
+	"math/rand"
 	"testing"
 
 	"archexplorer/internal/deg"
@@ -143,6 +144,34 @@ func BenchmarkEvaluator(b *testing.B) {
 		}
 	}
 }
+
+// benchEvaluatorBatch measures a batch of distinct design points on a
+// 4-workload suite at the given parallelism. Comparing the Parallelism=1
+// and Parallelism=4 variants shows the fan-out speedup; on a single-core
+// host the two converge, since the same work is just interleaved.
+func benchEvaluatorBatch(b *testing.B, parallelism int) {
+	suite := workload.Suite06()[:4]
+	space := uarch.StandardSpace()
+	rng := rand.New(rand.NewSource(42))
+	pts := make([]uarch.Point, 4)
+	for i := range pts {
+		pts[i] = space.Random(rng)
+	}
+	if _, err := workload.Trace(suite[0], 4000); err != nil { // warm compile caches
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := dse.NewEvaluator(space, suite, 4000)
+		ev.Parallelism = parallelism
+		if _, err := ev.EvaluateBatch(pts, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluatorSequential(b *testing.B) { benchEvaluatorBatch(b, 1) }
+func BenchmarkEvaluatorParallel4(b *testing.B)  { benchEvaluatorBatch(b, 4) }
 
 func BenchmarkAblation(b *testing.B)    { benchExperiment(b, "ablation") }
 func BenchmarkSec2Stats(b *testing.B)   { benchExperiment(b, "sec2stats") }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"archexplorer/internal/dse"
 	"archexplorer/internal/pareto"
@@ -28,6 +29,7 @@ func main() {
 		traceLen  = flag.Int("tracelen", 4000, "instructions per full evaluation")
 		seed      = flag.Int64("seed", 1, "random seed")
 		method    = flag.String("method", "ArchExplorer", "ArchExplorer | Random | AdaBoost | BOOM-Explorer | ArchRanker")
+		parallel  = flag.Int("parallel", 0, "concurrent simulations per evaluation (0 = all cores, 1 = sequential)")
 		out       = flag.String("out", "", "write the exploration campaign to this JSON file")
 	)
 	flag.Parse()
@@ -61,12 +63,19 @@ func main() {
 	}
 
 	ev := dse.NewEvaluator(uarch.StandardSpace(), suite, *traceLen)
+	ev.Parallelism = *parallel
 	fmt.Printf("%s on %s (%d workloads), budget %d simulations\n",
 		ex.Name(), *suiteName, len(suite), *budget)
+	start := time.Now()
 	if err := ex.Run(ev, *budget); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	st := ev.StageTotals()
+	fmt.Printf("wall-clock %v (worker time: sim %v, power %v, analysis %v, traces %v)\n",
+		time.Since(start).Round(time.Millisecond), st.Sim.Round(time.Millisecond),
+		st.Power.Round(time.Millisecond), st.DEG.Round(time.Millisecond),
+		st.Trace.Round(time.Millisecond))
 
 	ref := pareto.Reference{Perf: 0.01, Power: 1.5, Area: 25}
 	pts := ev.PointsUpTo(float64(*budget))

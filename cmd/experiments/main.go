@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"archexplorer/internal/exp"
 )
@@ -23,6 +24,7 @@ func main() {
 		traceLen = flag.Int("tracelen", 0, "instructions per workload evaluation")
 		seeds    = flag.Int("seeds", 0, "seeds averaged in DSE comparisons")
 		samples  = flag.Int("samples", 0, "design samples for fig1")
+		parallel = flag.Int("parallel", 0, "concurrent simulations per evaluation (0 = all cores, 1 = sequential)")
 		fast     = flag.Bool("fast", false, "shrink all experiments for a quick pass")
 	)
 	flag.Parse()
@@ -39,11 +41,12 @@ func main() {
 	}
 
 	opts := exp.Options{
-		Budget:   *budget,
-		TraceLen: *traceLen,
-		Seeds:    *seeds,
-		Samples:  *samples,
-		Fast:     *fast,
+		Budget:      *budget,
+		TraceLen:    *traceLen,
+		Seeds:       *seeds,
+		Samples:     *samples,
+		Parallelism: *parallel,
+		Fast:        *fast,
 	}
 
 	names := []string{*run}
@@ -60,10 +63,11 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("==== %s (%s) ====\n", e.Name, e.Paper)
+		start := time.Now()
 		if err := e.Run(opts, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.Name, err)
 			os.Exit(1)
 		}
-		fmt.Println()
+		fmt.Printf("(%s finished in %v)\n\n", e.Name, time.Since(start).Round(time.Millisecond))
 	}
 }

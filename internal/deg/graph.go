@@ -29,6 +29,7 @@ package deg
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"archexplorer/internal/pipetrace"
@@ -148,10 +149,10 @@ func Build(tr *pipetrace.Trace, opts Options) (*Graph, error) {
 	if opts.MaxVirtualScan <= 0 {
 		opts.MaxVirtualScan = 64
 	}
-	if len(tr.Records)*pipetrace.NumStages >= 1<<24 {
-		// The topological sort packs VertexIDs into 24 bits.
+	if len(tr.Records) > (math.MaxInt32-pipetrace.NumStages+1)/pipetrace.NumStages {
+		// VertexID is an int32 of seq*NumStages+stage.
 		return nil, fmt.Errorf("deg: trace of %d instructions exceeds the %d-instruction graph limit",
-			len(tr.Records), (1<<24)/pipetrace.NumStages)
+			len(tr.Records), (math.MaxInt32-pipetrace.NumStages+1)/pipetrace.NumStages)
 	}
 	g := &Graph{Trace: tr}
 

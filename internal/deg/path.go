@@ -22,6 +22,42 @@ type CriticalPath struct {
 	Span int64
 }
 
+// topoSort orders verts by (time, VertexID), which equals the
+// (time, seq, stage) topological order because a VertexID is
+// seq*NumStages+stage. The common case packs both into one uint64 key —
+// time in the upper 32 bits, vertex in the lower — so the sort comparator
+// stays branch-cheap; that packing is exact while every stamp fits in 32
+// bits (VertexID is int32, so the low half always fits). Stamps at or past
+// 1<<32 cycles fall back to an explicit two-key comparison instead of
+// silently corrupting the order — the bug the old 24-bit packing had for
+// traces beyond ~2M records.
+func topoSort(verts []VertexID, time func(VertexID) int64) {
+	var maxTime int64
+	for _, v := range verts {
+		if t := time(v); t > maxTime {
+			maxTime = t
+		}
+	}
+	if maxTime < 1<<32 {
+		keys := make([]uint64, len(verts))
+		for i, v := range verts {
+			keys[i] = uint64(time(v))<<32 | uint64(uint32(v))
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for i, k := range keys {
+			verts[i] = VertexID(uint32(k))
+		}
+		return
+	}
+	sort.Slice(verts, func(i, j int) bool {
+		ti, tj := time(verts[i]), time(verts[j])
+		if ti != tj {
+			return ti < tj
+		}
+		return verts[i] < verts[j]
+	})
+}
+
 // Construct runs Algorithm 1 (dynamic-programming longest path in
 // topological order). Vertices without predecessors start at cost zero
 // (line 8 of the paper's pseudocode acts as a virtual super-source); the
@@ -45,20 +81,13 @@ func (g *Graph) Construct() (*CriticalPath, error) {
 			}
 		}
 	}
-	// (time, seq, stage) order equals (time, VertexID) order because a
-	// VertexID is seq*NumStages+stage; pack both into one key so the sort
-	// comparator stays branch-cheap.
-	keys := make([]uint64, 0, nVerts)
+	verts := make([]VertexID, 0, nVerts)
 	for v := 0; v < total; v++ {
 		if present[v] {
-			keys = append(keys, uint64(g.time(VertexID(v)))<<24|uint64(v))
+			verts = append(verts, VertexID(v))
 		}
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	verts := make([]VertexID, len(keys))
-	for i, k := range keys {
-		verts[i] = VertexID(k & 0xffffff)
-	}
+	topoSort(verts, g.time)
 
 	d := make([]int64, total)
 	parent := make([]int32, total) // incoming edge index, -1 none
@@ -184,6 +213,17 @@ func (r *Report) Top() []uarch.Resource {
 // Merge computes the weighted average report across workloads
 // (Equation 2). Weights must match reports in length; they are normalised
 // internally.
+//
+// Contrib is exactly Equation 2: the weighted mean of each workload's
+// contribution *fractions* Σᵢ wᵢ·(Delayᵢ[r]/Lᵢ). The absolute fields L and
+// DelayByRes are weighted means of the inputs' absolute cycles (rounded to
+// the nearest cycle), so a merge of identical reports reproduces the input
+// rather than summing it. Because a mean of ratios is not the ratio of
+// means, Contrib[r] equals DelayByRes[r]/L only when every input has the
+// same L; in general the two views answer different questions (per-workload
+// share of runtime versus cycles on a reference-length run) and Contrib is
+// the one the explorer steers on. EdgeCount stays a plain sum — it is a
+// diagnostic tally of critical-path edges across all inputs.
 func Merge(reports []*Report, weights []float64) (*Report, error) {
 	if len(reports) == 0 {
 		return nil, fmt.Errorf("deg: no reports to merge")
@@ -208,15 +248,21 @@ func Merge(reports []*Report, weights []float64) (*Report, error) {
 		return nil, fmt.Errorf("deg: zero total weight")
 	}
 	out := &Report{}
+	var lMean float64
+	var delayMean [uarch.NumResources]float64
 	for i, rep := range reports {
 		w := weights[i] / wsum
-		out.L += rep.L
+		lMean += w * float64(rep.L)
 		out.Base += w * rep.Base
 		for r := range rep.Contrib {
 			out.Contrib[r] += w * rep.Contrib[r]
-			out.DelayByRes[r] += rep.DelayByRes[r]
+			delayMean[r] += w * float64(rep.DelayByRes[r])
 			out.EdgeCount[r] += rep.EdgeCount[r]
 		}
+	}
+	out.L = int64(lMean + 0.5)
+	for r := range delayMean {
+		out.DelayByRes[r] = int64(delayMean[r] + 0.5)
 	}
 	return out, nil
 }

@@ -1,0 +1,147 @@
+package deg
+
+import (
+	"sort"
+	"testing"
+
+	"archexplorer/internal/uarch"
+)
+
+// refSort is the explicit (time, VertexID) comparison topoSort must match.
+func refSort(verts []VertexID, time func(VertexID) int64) []VertexID {
+	out := append([]VertexID(nil), verts...)
+	sort.Slice(out, func(i, j int) bool {
+		ti, tj := time(out[i]), time(out[j])
+		if ti != tj {
+			return ti < tj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// xorshift is a tiny deterministic PRNG for synthetic vertex sets.
+type xorshift uint64
+
+func (x *xorshift) next() uint64 {
+	*x ^= *x << 13
+	*x ^= *x >> 7
+	*x ^= *x << 17
+	return uint64(*x)
+}
+
+// TestTopoSortBeyond24Bits is the regression test for the old packing
+// (time<<24 | id, unpacked with &0xffffff): vertex IDs at and past 1<<24
+// were truncated, silently corrupting the topological order for traces
+// beyond ~2M records. The fixture straddles the 24-bit boundary with
+// colliding times so the truncation would both misorder and alias vertices.
+func TestTopoSortBeyond24Bits(t *testing.T) {
+	const n = 4096
+	rng := xorshift(12345)
+	verts := make([]VertexID, 0, n)
+	times := make(map[VertexID]int64, n)
+	for i := 0; i < n; i++ {
+		// Half below the 24-bit boundary, half above it.
+		v := VertexID(rng.next() % (1 << 23))
+		if i%2 == 1 {
+			v += 1 << 24
+		}
+		if _, dup := times[v]; dup {
+			continue
+		}
+		// Few distinct times, so ties force ordering by vertex ID — the
+		// axis the truncation corrupted.
+		times[v] = int64(rng.next() % 7)
+		verts = append(verts, v)
+	}
+	timeOf := func(v VertexID) int64 { return times[v] }
+
+	want := refSort(verts, timeOf)
+	topoSort(verts, timeOf)
+	for i := range verts {
+		if verts[i] != want[i] {
+			t.Fatalf("order diverges at %d: got v=%d t=%d, want v=%d t=%d",
+				i, verts[i], timeOf(verts[i]), want[i], timeOf(want[i]))
+		}
+	}
+}
+
+// TestTopoSortTimeOverflowFallback drives stamps past 1<<32, where the
+// packed key would overflow; topoSort must detect this and fall back to the
+// explicit comparison.
+func TestTopoSortTimeOverflowFallback(t *testing.T) {
+	const n = 512
+	rng := xorshift(99)
+	verts := make([]VertexID, 0, n)
+	times := make(map[VertexID]int64, n)
+	for i := 0; i < n; i++ {
+		v := VertexID(rng.next() % (1 << 30))
+		if _, dup := times[v]; dup {
+			continue
+		}
+		times[v] = int64(1<<32) + int64(rng.next()%5) // collides above the packing limit
+		verts = append(verts, v)
+	}
+	timeOf := func(v VertexID) int64 { return times[v] }
+
+	want := refSort(verts, timeOf)
+	topoSort(verts, timeOf)
+	for i := range verts {
+		if verts[i] != want[i] {
+			t.Fatalf("fallback order diverges at %d: got %d, want %d", i, verts[i], want[i])
+		}
+	}
+}
+
+// TestMergeAbsoluteFieldsWeighted pins the documented Merge invariants: a
+// merge of identical reports reproduces the report (not a sum), and for
+// equal-length inputs Contrib[r] == DelayByRes[r]/L up to rounding.
+func TestMergeAbsoluteFieldsWeighted(t *testing.T) {
+	mk := func(l int64, delays map[uarch.Resource]int64) *Report {
+		r := &Report{L: l}
+		var attributed int64
+		for res, d := range delays {
+			r.DelayByRes[res] = d
+			r.Contrib[res] = float64(d) / float64(l)
+			r.EdgeCount[res] = 1
+			attributed += d
+		}
+		r.Base = 1 - float64(attributed)/float64(l)
+		return r
+	}
+
+	a := mk(1000, map[uarch.Resource]int64{uarch.ResROB: 300, uarch.ResIQ: 100})
+	same, err := Merge([]*Report{a, a, a}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.L != a.L {
+		t.Fatalf("identical merge L = %d, want %d (sum bug)", same.L, a.L)
+	}
+	for _, res := range uarch.Resources() {
+		if same.DelayByRes[res] != a.DelayByRes[res] {
+			t.Fatalf("%s: identical merge delay %d, want %d", res, same.DelayByRes[res], a.DelayByRes[res])
+		}
+	}
+
+	// Equal-length inputs with unequal weights: the ratio view must agree
+	// with the Equation-2 view.
+	b := mk(1000, map[uarch.Resource]int64{uarch.ResROB: 500, uarch.ResDCache: 200})
+	m, err := Merge([]*Report{a, b}, []float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range uarch.Resources() {
+		wantContrib := 0.25*a.Contrib[res] + 0.75*b.Contrib[res]
+		if d := m.Contrib[res] - wantContrib; d > 1e-12 || d < -1e-12 {
+			t.Fatalf("%s: Contrib %v, want %v", res, m.Contrib[res], wantContrib)
+		}
+		ratio := float64(m.DelayByRes[res]) / float64(m.L)
+		if d := ratio - wantContrib; d > 1e-3 || d < -1e-3 {
+			t.Fatalf("%s: DelayByRes/L = %v inconsistent with Contrib %v", res, ratio, wantContrib)
+		}
+	}
+	if m.L != 1000 {
+		t.Fatalf("merged L = %d, want 1000", m.L)
+	}
+}

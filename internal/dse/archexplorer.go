@@ -98,14 +98,29 @@ func (a *ArchExplorer) walk(ev *Evaluator, rng *rand.Rand, budget int) error {
 		return err
 	}
 	if !a.NoScreenStart {
-		for i := 0; i < 5 && ev.Sims < float64(budget); i++ {
-			cand := ev.Space.Random(rng)
-			ec, err := probe(cand)
-			if err != nil {
-				return err
+		// The screen candidates depend only on the rng, not on each other's
+		// probes, so the whole screen fans out as one batch.
+		drawn := 0
+		cands := ev.DrawBatch(float64(budget), !a.NoProbe, func() (uarch.Point, bool) {
+			if drawn >= 5 {
+				var zero uarch.Point
+				return zero, false
 			}
+			drawn++
+			return ev.Space.Random(rng), true
+		})
+		var ecs []*Evaluation
+		if a.NoProbe {
+			ecs, err = ev.EvaluateBatch(cands, true)
+		} else {
+			ecs, err = ev.ProbeBatch(cands)
+		}
+		if err != nil {
+			return err
+		}
+		for i, ec := range ecs {
 			if ec.Tradeoff() > e0.Tradeoff() {
-				pt, e0 = cand, ec
+				pt, e0 = cands[i], ec
 			}
 		}
 	}
@@ -121,12 +136,11 @@ func (a *ArchExplorer) walk(ev *Evaluator, rng *rand.Rand, budget int) error {
 		if n > a.ReevalN {
 			bestPts = bestPts[n-a.ReevalN:]
 		}
-		for _, bp := range bestPts {
-			if _, err := ev.Evaluate(bp, false); err != nil {
-				return err
-			}
-		}
-		return nil
+		// Full-fidelity re-evaluations of the walk's best designs are
+		// independent, so they fan out as one batch (no budget gate — the
+		// walk's outcome always enters the exploration set).
+		_, err := ev.EvaluateBatch(bestPts, false)
+		return err
 	}
 
 	// Per-walk freeze set: branch predictor and cache resources stop

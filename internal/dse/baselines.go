@@ -18,11 +18,31 @@ func (r *RandomSearch) Name() string { return "Random" }
 func (r *RandomSearch) Run(ev *Evaluator, budget int) error {
 	rng := rand.New(rand.NewSource(r.Seed))
 	for ev.Sims < float64(budget) {
-		if _, err := ev.Evaluate(ev.Space.Random(rng), false); err != nil {
+		pts := ev.DrawBatch(float64(budget), false, func() (uarch.Point, bool) {
+			return ev.Space.Random(rng), true
+		})
+		if len(pts) == 0 {
+			break
+		}
+		if _, err := ev.EvaluateBatch(pts, false); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// drawFrom adapts a fixed candidate list to DrawBatch's draw function.
+func drawFrom(pts []uarch.Point) func() (uarch.Point, bool) {
+	i := 0
+	return func() (uarch.Point, bool) {
+		if i >= len(pts) {
+			var zero uarch.Point
+			return zero, false
+		}
+		p := pts[i]
+		i++
+		return p, true
+	}
 }
 
 // scoreOf is the scalar objective the surrogate baselines model: the
@@ -58,12 +78,20 @@ func (a *AdaBoostDSE) Run(ev *Evaluator, budget int) error {
 	var feats [][]float64
 	var ys []float64
 	for ev.Sims < a.TrainFrac*float64(budget) {
-		e, err := ev.Evaluate(ev.Space.Random(rng), false)
+		pts := ev.DrawBatch(a.TrainFrac*float64(budget), false, func() (uarch.Point, bool) {
+			return ev.Space.Random(rng), true
+		})
+		if len(pts) == 0 {
+			break
+		}
+		evals, err := ev.EvaluateBatch(pts, false)
 		if err != nil {
 			return err
 		}
-		feats = append(feats, ev.Features(e.Point))
-		ys = append(ys, scoreOf(e))
+		for _, e := range evals {
+			feats = append(feats, ev.Features(e.Point))
+			ys = append(ys, scoreOf(e))
+		}
 	}
 
 	model := mlkit.NewAdaBoostRT()
@@ -80,10 +108,13 @@ func (a *AdaBoostDSE) Run(ev *Evaluator, budget int) error {
 	}
 	sort.Slice(pool, func(i, j int) bool { return pool[i].score > pool[j].score })
 
-	for i := 0; i < len(pool) && ev.Sims < float64(budget); i++ {
-		if _, err := ev.Evaluate(pool[i].pt, false); err != nil {
-			return err
-		}
+	ranked := make([]uarch.Point, len(pool))
+	for i := range pool {
+		ranked[i] = pool[i].pt
+	}
+	picked := ev.DrawBatch(float64(budget), false, drawFrom(ranked))
+	if _, err := ev.EvaluateBatch(picked, false); err != nil {
+		return err
 	}
 	return nil
 }
@@ -151,15 +182,19 @@ func (b *BOOMExplorer) Run(ev *Evaluator, budget int) error {
 		}
 	}
 
-	for _, pt := range initPts {
-		if ev.Sims >= float64(budget) {
-			return nil
-		}
-		e, err := ev.Evaluate(pt, false)
-		if err != nil {
-			return err
-		}
+	// The initial set is independent of any evaluation outcome, so it fans
+	// out as one batch; the acquisition loop below stays sequential because
+	// every pick depends on the refit surrogate.
+	picked := ev.DrawBatch(float64(budget), false, drawFrom(initPts))
+	evals, err := ev.EvaluateBatch(picked, false)
+	if err != nil {
+		return err
+	}
+	for _, e := range evals {
 		add(e)
+	}
+	if len(picked) < len(initPts) {
+		return nil // budget exhausted mid-initialisation
 	}
 
 	for ev.Sims < float64(budget) {
@@ -225,11 +260,19 @@ func (a *ArchRankerDSE) Run(ev *Evaluator, budget int) error {
 	}
 	var data []obs
 	for ev.Sims < a.TrainFrac*float64(budget) {
-		e, err := ev.Evaluate(ev.Space.Random(rng), false)
+		pts := ev.DrawBatch(a.TrainFrac*float64(budget), false, func() (uarch.Point, bool) {
+			return ev.Space.Random(rng), true
+		})
+		if len(pts) == 0 {
+			break
+		}
+		evals, err := ev.EvaluateBatch(pts, false)
 		if err != nil {
 			return err
 		}
-		data = append(data, obs{f: ev.Features(e.Point), y: scoreOf(e)})
+		for _, e := range evals {
+			data = append(data, obs{f: ev.Features(e.Point), y: scoreOf(e)})
+		}
 	}
 
 	var better, worse [][]float64
@@ -255,10 +298,13 @@ func (a *ArchRankerDSE) Run(ev *Evaluator, budget int) error {
 	}
 	sort.Slice(pool, func(i, j int) bool { return pool[i].score > pool[j].score })
 
-	for i := 0; i < len(pool) && ev.Sims < float64(budget); i++ {
-		if _, err := ev.Evaluate(pool[i].pt, false); err != nil {
-			return err
-		}
+	ranked := make([]uarch.Point, len(pool))
+	for i := range pool {
+		ranked[i] = pool[i].pt
+	}
+	picked := ev.DrawBatch(float64(budget), false, drawFrom(ranked))
+	if _, err := ev.EvaluateBatch(picked, false); err != nil {
+		return err
 	}
 	return nil
 }

@@ -7,16 +7,41 @@ package dse
 
 import (
 	"fmt"
+	"sync"
+	"time"
 
 	"archexplorer/internal/calipers"
 	"archexplorer/internal/deg"
 	"archexplorer/internal/mcpat"
 	"archexplorer/internal/ooo"
+	"archexplorer/internal/par"
 	"archexplorer/internal/pareto"
 	"archexplorer/internal/pipetrace"
 	"archexplorer/internal/uarch"
 	"archexplorer/internal/workload"
 )
+
+// StageTimes is the wall-clock spent per evaluation stage, summed across
+// the workloads of one evaluation. Under parallel evaluation the per-stage
+// sums exceed the evaluation's elapsed wall-clock: they count every
+// worker's time, which is exactly what makes fan-out speedups observable
+// (stage totals stay flat while Elapsed shrinks).
+type StageTimes struct {
+	Trace time.Duration // trace generation / cache lookup
+	Sim   time.Duration // cycle-level out-of-order simulation
+	Power time.Duration // McPAT power/area model
+	DEG   time.Duration // graph build + critical path + attribution
+}
+
+// Total is the summed worker time across all stages.
+func (s StageTimes) Total() time.Duration { return s.Trace + s.Sim + s.Power + s.DEG }
+
+func (s *StageTimes) add(o StageTimes) {
+	s.Trace += o.Trace
+	s.Sim += o.Sim
+	s.Power += o.Power
+	s.DEG += o.DEG
+}
 
 // Evaluation is the outcome of evaluating one design point on the full
 // workload suite.
@@ -34,12 +59,20 @@ type Evaluation struct {
 	Probe bool
 
 	// SimsAt is the evaluator's cumulative simulation count when this
-	// evaluation completed (the x-coordinate on budget curves).
+	// evaluation completed (the x-coordinate on budget curves). It is
+	// assigned at collection time, in request order, so it is identical
+	// whether the evaluation ran sequentially or fanned out.
 	SimsAt float64
 
 	// PerWorkloadIPC records each workload's IPC (paper Fig. 13 uses
 	// averages; ablations use the distribution).
 	PerWorkloadIPC []float64
+
+	// Times breaks the evaluation's worker time down by stage; Elapsed is
+	// its end-to-end wall-clock. Both vary run to run — every other field
+	// is deterministic.
+	Times   StageTimes
+	Elapsed time.Duration
 }
 
 // Tradeoff is the paper's scalar PPA metric Perf²/(Power·Area).
@@ -53,7 +86,16 @@ func (e *Evaluation) Tradeoff() float64 {
 // probes follow Section 5.1: they simulate only a prefix of each workload
 // ("the first hundred thousand instructions of each Simpoint"), so a probe
 // is charged the corresponding fraction of a simulation. Cached repeats
-// are free.
+// are free, including re-requests that only add the DEG report to an
+// already-paid evaluation.
+//
+// The per-(config, workload) runs are independent, so an evaluation fans
+// its workloads out across Parallelism workers; EvaluateBatch additionally
+// fans out across design points. Results — PPA, PerWorkloadIPC, merged
+// reports, History order, Sims accounting — are byte-identical to fully
+// sequential operation regardless of completion order: workers fill
+// per-workload slots that are reduced in suite order, and budget charges
+// commit in request order.
 type Evaluator struct {
 	Space     *uarch.Space
 	Workloads []workload.Profile
@@ -62,6 +104,13 @@ type Evaluator struct {
 	// paper's 100k-of-100M would be 1000; the synthetic traces are far
 	// shorter, so probes default to 1/8 of the evaluation trace).
 	ProbeDiv int
+
+	// Parallelism bounds the concurrent (config, workload) simulations a
+	// single evaluation or batch fans out. 0, the default, shares the
+	// process-wide GOMAXPROCS compute-slot pool with every other
+	// evaluator; 1 runs fully sequentially (today's behavior); any other
+	// value uses a private pool of that size.
+	Parallelism int
 
 	// Weights are Equation 2's designer-preference coefficients w_i, one
 	// per workload. Nil means uniform 1/|B| (the paper's experimental
@@ -75,12 +124,18 @@ type Evaluator struct {
 	UseCalipers bool
 
 	// Sims counts the simulation budget spent so far, in units of full
-	// (config, workload) simulations.
+	// (config, workload) simulations. It is mutated only while committing
+	// finished evaluations on the calling goroutine; explorers read it
+	// between calls as before.
 	Sims float64
 
 	// History records every distinct evaluation in completion order.
 	History []*Evaluation
 
+	// mu guards cache, History, and Sims against the evaluator's own
+	// batch fan-out. The exported fields are still meant to be inspected
+	// from the goroutine driving the exploration loop.
+	mu    sync.Mutex
 	cache map[cacheKey]*Evaluation
 }
 
@@ -107,27 +162,83 @@ func NewEvaluator(space *uarch.Space, suite []workload.Profile, traceLen int) *E
 // also runs the critical-path bottleneck analysis and merges the
 // per-workload reports with uniform weights (Equation 2 with w_i = 1/|B|).
 func (ev *Evaluator) Evaluate(pt uarch.Point, withDEG bool) (*Evaluation, error) {
-	return ev.run(pt, withDEG, false)
+	out, err := ev.batch([]uarch.Point{pt}, withDEG, false)
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
 }
 
 // Probe is the cheap bottleneck-analysis evaluation ArchExplorer steps on:
 // a short trace prefix with DEG analysis, charged fractionally.
 func (ev *Evaluator) Probe(pt uarch.Point) (*Evaluation, error) {
-	return ev.run(pt, true, true)
+	out, err := ev.batch([]uarch.Point{pt}, true, true)
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
 }
 
-func (ev *Evaluator) run(pt uarch.Point, withDEG, probe bool) (*Evaluation, error) {
-	key := cacheKey{pt: pt, probe: probe}
-	if e, ok := ev.cache[key]; ok && (!withDEG || e.Report != nil) {
-		return e, nil
-	}
-	cfg := ev.Space.Decode(pt)
-	if err := cfg.Validate(); err != nil {
-		return nil, fmt.Errorf("dse: invalid config: %w", err)
-	}
+// EvaluateBatch evaluates independent design points, fanning both points
+// and their workloads out across the evaluator's parallelism. The returned
+// slice aligns with pts; duplicated or already-cached points are resolved
+// once and charged exactly as a sequential Evaluate loop would charge
+// them. Results and accounting are byte-identical to calling Evaluate on
+// each point in slice order.
+func (ev *Evaluator) EvaluateBatch(pts []uarch.Point, withDEG bool) ([]*Evaluation, error) {
+	return ev.batch(pts, withDEG, false)
+}
 
-	traceLen := ev.TraceLen
-	cost := 1.0
+// ProbeBatch is EvaluateBatch for probe evaluations.
+func (ev *Evaluator) ProbeBatch(pts []uarch.Point) ([]*Evaluation, error) {
+	return ev.batch(pts, true, true)
+}
+
+// DrawBatch plans the set of design points a sequential budget loop would
+// evaluate: it keeps drawing from next while the projected simulation
+// count stays under budget, mirroring
+//
+//	for ev.Sims < budget { ev.Evaluate(next()) }
+//
+// point for point — a draw that is already cached (or repeats an earlier
+// draw in the same batch) projects zero cost, a fresh one projects a full
+// (or probe-fraction) suite. next returning ok=false ends the batch early,
+// e.g. when a ranked candidate pool runs out. Feed the result to
+// EvaluateBatch/ProbeBatch and the budget lands exactly where the
+// sequential loop would have left it.
+func (ev *Evaluator) DrawBatch(budget float64, probe bool, next func() (uarch.Point, bool)) []uarch.Point {
+	_, cost := ev.planCost(probe)
+	suiteCost := cost * float64(len(ev.Workloads))
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	projected := ev.Sims
+	seen := make(map[cacheKey]bool)
+	var out []uarch.Point
+	for projected < budget {
+		pt, ok := next()
+		if !ok {
+			break
+		}
+		out = append(out, pt)
+		key := cacheKey{pt: pt, probe: probe}
+		if seen[key] {
+			continue
+		}
+		if _, hit := ev.cache[key]; hit {
+			continue
+		}
+		seen[key] = true
+		projected += suiteCost
+	}
+	return out
+}
+
+// planCost returns the per-workload trace length and budget cost of one
+// (config, workload) run: 1.0 for a full simulation, the trace-length
+// fraction for a probe (Section 5.1's prefix charging).
+func (ev *Evaluator) planCost(probe bool) (traceLen int, cost float64) {
+	traceLen = ev.TraceLen
+	cost = 1.0
 	if probe {
 		traceLen = ev.TraceLen / ev.ProbeDiv
 		if traceLen < 250 {
@@ -135,66 +246,278 @@ func (ev *Evaluator) run(pt uarch.Point, withDEG, probe bool) (*Evaluation, erro
 		}
 		cost = float64(traceLen) / float64(ev.TraceLen)
 	}
+	return traceLen, cost
+}
 
-	var ipcSum, powSum float64
-	var area float64
+// job is one deduplicated design point of a batch.
+type job struct {
+	key     cacheKey
+	withDEG bool
+	// upgrade marks a cache hit that lacks the requested report: the
+	// simulation re-runs to rebuild the trace, but the budget was already
+	// paid — cached repeats are free, so the upgrade charges nothing.
+	upgrade bool
+	slots   []int // indices into the batch output
+	e       *Evaluation
+	err     error
+}
+
+// batch implements Evaluate/Probe/EvaluateBatch/ProbeBatch: resolve cache
+// hits, compute the missing evaluations in parallel, then commit results in
+// request order so History, Sims, and SimsAt match sequential operation.
+func (ev *Evaluator) batch(pts []uarch.Point, withDEG, probe bool) ([]*Evaluation, error) {
+	out := make([]*Evaluation, len(pts))
+
+	// Phase 1: resolve hits and dedupe misses in first-occurrence order.
+	ev.mu.Lock()
+	if ev.cache == nil {
+		ev.cache = make(map[cacheKey]*Evaluation)
+	}
+	var jobs []*job
+	byKey := make(map[cacheKey]*job)
+	for i, pt := range pts {
+		key := cacheKey{pt: pt, probe: probe}
+		if e, ok := ev.cache[key]; ok && (!withDEG || e.Report != nil) {
+			out[i] = e
+			continue
+		}
+		if j, ok := byKey[key]; ok {
+			j.slots = append(j.slots, i)
+			continue
+		}
+		j := &job{key: key, withDEG: withDEG, slots: []int{i}}
+		_, j.upgrade = ev.cache[key]
+		byKey[key] = j
+		jobs = append(jobs, j)
+	}
+	ev.mu.Unlock()
+
+	// Phase 2: compute misses — points × workloads fan out onto the
+	// compute-slot pool. Job goroutines are structural (they only wait),
+	// so they are not slot-bounded themselves.
+	if len(jobs) > 0 {
+		leaf := ev.leafGate()
+		var wg sync.WaitGroup
+		for _, j := range jobs {
+			j := j
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ev.compute(j, probe, leaf)
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Phase 3: commit in first-occurrence order — exactly the order a
+	// sequential loop would have finished them — assigning SimsAt and
+	// History position deterministically.
+	for _, j := range jobs {
+		if j.err != nil {
+			return nil, j.err
+		}
+		var charge float64
+		if !j.upgrade {
+			_, cost := ev.planCost(probe)
+			charge = cost * float64(len(ev.Workloads))
+		}
+		ev.mu.Lock()
+		ev.Sims += charge
+		j.e.SimsAt = ev.Sims
+		if j.upgrade {
+			// Upgrade the cached entry in place (adds the report).
+			for i, old := range ev.History {
+				if old.Point == j.key.pt && old.Probe == j.key.probe {
+					ev.History[i] = j.e
+					break
+				}
+			}
+		} else {
+			ev.History = append(ev.History, j.e)
+		}
+		ev.cache[j.key] = j.e
+		ev.mu.Unlock()
+		for _, i := range j.slots {
+			out[i] = j.e
+		}
+	}
+	return out, nil
+}
+
+// leafGate returns the executor for CPU-bound per-workload tasks: the
+// process-wide slot pool by default, a private pool for an explicit
+// Parallelism, or nil to request inline (sequential) execution.
+func (ev *Evaluator) leafGate() func(func()) {
+	switch p := ev.Parallelism; {
+	case p == 1:
+		return nil
+	case p > 1:
+		sem := make(chan struct{}, p)
+		return func(fn func()) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			fn()
+		}
+	default:
+		return par.Slot
+	}
+}
+
+// wlResult is one workload's slot in an evaluation's fan-out.
+type wlResult struct {
+	ipc, pow, area float64
+	rep            *deg.Report
+	times          StageTimes
+	err            error
+}
+
+// compute runs one job: simulate every workload (concurrently when leaf is
+// non-nil), then reduce the per-workload slots in suite order.
+func (ev *Evaluator) compute(j *job, probe bool, leaf func(func())) {
+	start := time.Now()
+	cfg := ev.Space.Decode(j.key.pt)
+	if err := cfg.Validate(); err != nil {
+		j.err = fmt.Errorf("dse: invalid config: %w", err)
+		return
+	}
+	if ev.Weights != nil && len(ev.Weights) != len(ev.Workloads) {
+		j.err = fmt.Errorf("dse: %d weights for %d workloads", len(ev.Weights), len(ev.Workloads))
+		return
+	}
+	traceLen, _ := ev.planCost(probe)
+
+	outs := make([]wlResult, len(ev.Workloads))
+	if leaf == nil {
+		for k := range ev.Workloads {
+			outs[k] = ev.simWorkload(cfg, ev.Workloads[k], traceLen, j.withDEG, probe)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for k := range ev.Workloads {
+			k := k
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				leaf(func() {
+					outs[k] = ev.simWorkload(cfg, ev.Workloads[k], traceLen, j.withDEG, probe)
+				})
+			}()
+		}
+		wg.Wait()
+	}
+	j.e, j.err = ev.reduce(j, probe, cfg, outs)
+	if j.e != nil {
+		j.e.Elapsed = time.Since(start)
+	}
+}
+
+// simWorkload runs one (config, workload) simulation end to end: trace,
+// cycle-level core, power model, and (optionally) bottleneck analysis.
+func (ev *Evaluator) simWorkload(cfg uarch.Config, wl workload.Profile, traceLen int, withDEG, probe bool) wlResult {
+	var r wlResult
+	t0 := time.Now()
+	stream, err := workload.CachedTrace(wl, traceLen)
+	r.times.Trace = time.Since(t0)
+	if err != nil {
+		r.err = err
+		return r
+	}
+	core, err := ooo.New(cfg)
+	if err != nil {
+		r.err = err
+		return r
+	}
+	t0 = time.Now()
+	tr, stats, err := core.Run(stream)
+	r.times.Sim = time.Since(t0)
+	if err != nil {
+		r.err = fmt.Errorf("dse: %s on %s: %w", wl.Name, cfg, err)
+		return r
+	}
+	if len(tr.Records) == 0 {
+		r.err = fmt.Errorf("dse: %s on %s: simulation committed no instructions", wl.Name, cfg)
+		return r
+	}
+
+	t0 = time.Now()
+	pw, err := mcpat.Evaluate(cfg, stats)
+	r.times.Power = time.Since(t0)
+	if err != nil {
+		r.err = err
+		return r
+	}
+	r.ipc = stats.IPC()
+	if probe {
+		if w, ok := warmWindowIPC(tr); ok {
+			r.ipc = w
+		}
+	}
+	r.pow = pw.PowerW
+	r.area = pw.AreaMM2
+
+	if withDEG {
+		t0 = time.Now()
+		var rep *deg.Report
+		if ev.UseCalipers {
+			rep, err = calipersReport(tr, cfg)
+		} else {
+			rep, _, _, err = deg.Analyze(tr, deg.Options{})
+		}
+		r.times.DEG = time.Since(t0)
+		if err != nil {
+			r.err = err
+			return r
+		}
+		r.rep = rep
+	}
+	return r
+}
+
+// warmWindowIPC measures IPC over the post-warmup window of a probe trace:
+// short prefixes are dominated by cold caches and predictor warmup, so the
+// first third is discarded to keep probe estimates comparable with full
+// evaluations. Traces too small to carve a window (fewer than three
+// committed records) or whose window spans zero cycles report ok=false and
+// the caller keeps the whole-trace IPC — previously such traces indexed
+// out of range and panicked.
+func warmWindowIPC(tr *pipetrace.Trace) (float64, bool) {
+	n := len(tr.Records)
+	if n < 3 {
+		return 0, false
+	}
+	warm := n / 3
+	span := tr.Records[n-1].Stamp[pipetrace.SC] - tr.Records[warm].Stamp[pipetrace.SC]
+	if span <= 0 {
+		return 0, false
+	}
+	return float64(n-warm-1) / float64(span), true
+}
+
+// reduce folds the per-workload slots into one Evaluation in suite order,
+// making the result independent of the order workers finished in. A failed
+// workload surfaces the lowest-index error, again deterministically.
+func (ev *Evaluator) reduce(j *job, probe bool, cfg uarch.Config, outs []wlResult) (*Evaluation, error) {
+	for k := range outs {
+		if outs[k].err != nil {
+			return nil, outs[k].err
+		}
+	}
+	e := &Evaluation{Point: j.key.pt, Config: cfg, Probe: probe}
+	var ipcSum, powSum, area float64
 	var reports []*deg.Report
-	e := &Evaluation{Point: pt, Config: cfg, Probe: probe}
-
-	for _, wl := range ev.Workloads {
-		stream, err := workload.CachedTrace(wl, traceLen)
-		if err != nil {
-			return nil, err
+	for k := range outs {
+		ipcSum += outs[k].ipc
+		powSum += outs[k].pow
+		area = outs[k].area
+		e.PerWorkloadIPC = append(e.PerWorkloadIPC, outs[k].ipc)
+		if j.withDEG {
+			reports = append(reports, outs[k].rep)
 		}
-		core, err := ooo.New(cfg)
-		if err != nil {
-			return nil, err
-		}
-		tr, stats, err := core.Run(stream)
-		if err != nil {
-			return nil, fmt.Errorf("dse: %s on %s: %w", wl.Name, cfg, err)
-		}
-		ev.Sims += cost
-
-		pw, err := mcpat.Evaluate(cfg, stats)
-		if err != nil {
-			return nil, err
-		}
-		ipc := stats.IPC()
-		if probe {
-			// Short prefixes are dominated by cold caches and predictor
-			// warmup; measure IPC over the post-warmup window so probe
-			// estimates are comparable with full evaluations.
-			warm := len(tr.Records) / 3
-			span := tr.Records[len(tr.Records)-1].Stamp[pipetrace.SC] - tr.Records[warm].Stamp[pipetrace.SC]
-			if span > 0 {
-				ipc = float64(len(tr.Records)-warm-1) / float64(span)
-			}
-		}
-		ipcSum += ipc
-		powSum += pw.PowerW
-		area = pw.AreaMM2
-		e.PerWorkloadIPC = append(e.PerWorkloadIPC, ipc)
-
-		if withDEG {
-			var rep *deg.Report
-			if ev.UseCalipers {
-				rep, err = calipersReport(tr, cfg)
-			} else {
-				rep, _, _, err = deg.Analyze(tr, deg.Options{})
-			}
-			if err != nil {
-				return nil, err
-			}
-			reports = append(reports, rep)
-		}
+		e.Times.add(outs[k].times)
 	}
 
 	if ev.Weights != nil {
-		if len(ev.Weights) != len(ev.Workloads) {
-			return nil, fmt.Errorf("dse: %d weights for %d workloads", len(ev.Weights), len(ev.Workloads))
-		}
-		var wsum, ipcW, powW float64
+		var wsum, ipcW float64
 		for i, w := range ev.Weights {
 			wsum += w
 			ipcW += w * e.PerWorkloadIPC[i]
@@ -203,34 +526,32 @@ func (ev *Evaluator) run(pt uarch.Point, withDEG, probe bool) (*Evaluation, erro
 			return nil, fmt.Errorf("dse: non-positive weight sum")
 		}
 		// Power re-weighted consistently with the per-workload shares.
-		powW = powSum / float64(len(ev.Workloads)) // activity averaging kept uniform
+		powW := powSum / float64(len(ev.Workloads)) // activity averaging kept uniform
 		e.PPA = pareto.Point{Perf: ipcW / wsum, Power: powW, Area: area}
 	} else {
 		n := float64(len(ev.Workloads))
 		e.PPA = pareto.Point{Perf: ipcSum / n, Power: powSum / n, Area: area}
 	}
-	if withDEG {
+	if j.withDEG {
 		merged, err := deg.Merge(reports, ev.Weights)
 		if err != nil {
 			return nil, err
 		}
 		e.Report = merged
 	}
-
-	e.SimsAt = ev.Sims
-	if _, seen := ev.cache[key]; !seen {
-		ev.History = append(ev.History, e)
-	} else {
-		// Upgrade the cached entry in place (adds the report).
-		for i, old := range ev.History {
-			if old.Point == pt && old.Probe == probe {
-				ev.History[i] = e
-				break
-			}
-		}
-	}
-	ev.cache[key] = e
 	return e, nil
+}
+
+// StageTotals sums the per-stage worker time over every evaluation in the
+// history — the observable cost breakdown a campaign prints.
+func (ev *Evaluator) StageTotals() StageTimes {
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	var t StageTimes
+	for _, e := range ev.History {
+		t.add(e.Times)
+	}
+	return t
 }
 
 // Points returns the PPA outcomes of full-fidelity evaluations in

@@ -10,7 +10,9 @@ import (
 	"io"
 	"sort"
 
+	"archexplorer/internal/dse"
 	"archexplorer/internal/ooo"
+	"archexplorer/internal/par"
 	"archexplorer/internal/pipetrace"
 	"archexplorer/internal/uarch"
 	"archexplorer/internal/workload"
@@ -28,6 +30,12 @@ type Options struct {
 	Seeds int
 	// Samples is the design count for sampling experiments (Figure 1).
 	Samples int
+	// Parallelism bounds each evaluator's concurrent (config, workload)
+	// simulations: 0 (the default) shares one GOMAXPROCS-sized pool across
+	// every concurrently running evaluation, 1 forces fully sequential
+	// simulation. Results are identical at any setting; only wall-clock
+	// changes.
+	Parallelism int
 	// Fast shrinks everything for smoke tests and benchmarks.
 	Fast bool
 }
@@ -93,6 +101,43 @@ func List() []Experiment {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
+}
+
+// newEvaluator builds a standard-space evaluator wired with the options'
+// parallelism, so every experiment's evaluations share the same fan-out
+// policy.
+func newEvaluator(o Options, suite []workload.Profile) *dse.Evaluator {
+	ev := dse.NewEvaluator(uarch.StandardSpace(), suite, o.TraceLen)
+	ev.Parallelism = o.Parallelism
+	return ev
+}
+
+// exploreGrid runs a variants × seeds grid of independent explorations
+// concurrently and collects the evaluators into [variant][seed-1] slots.
+// The grid goroutines only coordinate — the simulations inside each
+// exploration are what occupy the shared compute pool — so the grid itself
+// is unbounded. Slot collection keeps downstream reductions (curve
+// averaging, table rows) in the same deterministic order as the nested
+// sequential loops this replaces; errors surface lowest-index first.
+func exploreGrid(variants, seeds int, run func(variant int, seed int64) (*dse.Evaluator, error)) ([][]*dse.Evaluator, error) {
+	out := make([][]*dse.Evaluator, variants)
+	for v := range out {
+		out[v] = make([]*dse.Evaluator, seeds)
+	}
+	n := variants * seeds
+	err := par.ForEach(n, n, func(i int) error {
+		v, s := i/seeds, i%seeds
+		ev, err := run(v, int64(s+1))
+		if err != nil {
+			return err
+		}
+		out[v][s] = ev
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // simulate runs one config on one workload and returns the trace + stats.

@@ -64,14 +64,20 @@ func runAblation(o Options, w io.Writer) error {
 	fmt.Fprintf(w, "ArchExplorer ablations on SPEC06-like suite, budget %d sims, %d seed(s)\n\n",
 		o.Budget, o.Seeds)
 	fmt.Fprintf(w, "%-12s %12s %12s %14s\n", "variant", "HV@half", "HV@full", "full evals")
-	for _, v := range variants {
+	grid, err := exploreGrid(len(variants), o.Seeds, func(vi int, seed int64) (*dse.Evaluator, error) {
+		ev := newEvaluator(o, suite)
+		if err := variants[vi].mk(seed).Run(ev, o.Budget); err != nil {
+			return nil, err
+		}
+		return ev, nil
+	})
+	if err != nil {
+		return err
+	}
+	for vi, v := range variants {
 		var hvHalf, hvFull float64
 		evals := 0
-		for seed := int64(1); seed <= int64(o.Seeds); seed++ {
-			ev := dse.NewEvaluator(uarch.StandardSpace(), suite, o.TraceLen)
-			if err := v.mk(seed).Run(ev, o.Budget); err != nil {
-				return err
-			}
+		for _, ev := range grid[vi] {
 			hvHalf += pareto.Hypervolume(ev.PointsUpTo(float64(o.Budget/2)), hvReference) / float64(o.Seeds)
 			hvFull += pareto.Hypervolume(ev.PointsUpTo(float64(o.Budget)), hvReference) / float64(o.Seeds)
 			evals += len(ev.Points())

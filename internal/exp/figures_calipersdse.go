@@ -6,7 +6,6 @@ import (
 
 	"archexplorer/internal/dse"
 	"archexplorer/internal/pareto"
-	"archexplorer/internal/uarch"
 )
 
 func init() {
@@ -36,20 +35,27 @@ func runCalipersDSE(o Options, w io.Writer) error {
 		fmt.Fprintf(w, "  HV@%-6d", b)
 	}
 	fmt.Fprintln(w)
-	for _, variant := range []struct {
+	variants := []struct {
 		name        string
 		useCalipers bool
 	}{
 		{"new DEG (this paper)", false},
 		{"previous DEG", true},
-	} {
+	}
+	grid, err := exploreGrid(len(variants), o.Seeds, func(vi int, seed int64) (*dse.Evaluator, error) {
+		ev := newEvaluator(o, suite)
+		ev.UseCalipers = variants[vi].useCalipers
+		if err := dse.NewArchExplorer(seed).Run(ev, o.Budget); err != nil {
+			return nil, err
+		}
+		return ev, nil
+	})
+	if err != nil {
+		return err
+	}
+	for vi, variant := range variants {
 		hv := make([]float64, len(budgets))
-		for seed := int64(1); seed <= int64(o.Seeds); seed++ {
-			ev := dse.NewEvaluator(uarch.StandardSpace(), suite, o.TraceLen)
-			ev.UseCalipers = variant.useCalipers
-			if err := dse.NewArchExplorer(seed).Run(ev, o.Budget); err != nil {
-				return err
-			}
+		for _, ev := range grid[vi] {
 			for i, b := range budgets {
 				hv[i] += pareto.Hypervolume(ev.PointsUpTo(float64(b)), hvReference) / float64(o.Seeds)
 			}

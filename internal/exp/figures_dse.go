@@ -5,6 +5,7 @@ import (
 	"io"
 	"math/rand"
 	"sort"
+	"time"
 
 	"archexplorer/internal/dse"
 	"archexplorer/internal/pareto"
@@ -65,7 +66,10 @@ var methodNames = []string{"ArchExplorer", "Random", "AdaBoost", "BOOM-Explorer"
 
 // runCampaign executes every method on the suite, averaging HV curves over
 // seeds. It returns the curves and the last evaluator per method (for
-// frontier plots).
+// frontier plots). The (seed, method) campaigns are independent, so they
+// all run concurrently; the reduction below walks the collected grid in the
+// original seed-major order, keeping curves, evaluator selection, and the
+// progress log identical to the sequential nested loops.
 func runCampaign(o Options, suiteName string, w io.Writer) (map[string][]float64, []int, map[string]*dse.Evaluator, error) {
 	suite, err := suiteByName(suiteName)
 	if err != nil {
@@ -77,24 +81,34 @@ func runCampaign(o Options, suiteName string, w io.Writer) (map[string][]float64
 		budgets[i] = (i + 1) * o.Budget / nb
 	}
 
+	grid, err := exploreGrid(len(methodNames), o.Seeds, func(m int, seed int64) (*dse.Evaluator, error) {
+		ev := newEvaluator(o, suite)
+		if err := methods(seed)[m].Run(ev, o.Budget); err != nil {
+			return nil, err
+		}
+		return ev, nil
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
 	curves := make(map[string][]float64)
 	lastEv := make(map[string]*dse.Evaluator)
-	for seed := int64(1); seed <= int64(o.Seeds); seed++ {
-		for _, ex := range methods(seed) {
-			ev := dse.NewEvaluator(uarch.StandardSpace(), suite, o.TraceLen)
-			if err := ex.Run(ev, o.Budget); err != nil {
-				return nil, nil, nil, err
-			}
-			if curves[ex.Name()] == nil {
-				curves[ex.Name()] = make([]float64, nb)
+	for s := 0; s < o.Seeds; s++ {
+		for m, name := range methodNames {
+			ev := grid[m][s]
+			if curves[name] == nil {
+				curves[name] = make([]float64, nb)
 			}
 			for i, b := range budgets {
-				curves[ex.Name()][i] += pareto.Hypervolume(ev.PointsUpTo(float64(b)), hvReference) / float64(o.Seeds)
+				curves[name][i] += pareto.Hypervolume(ev.PointsUpTo(float64(b)), hvReference) / float64(o.Seeds)
 			}
-			lastEv[ex.Name()] = ev
+			lastEv[name] = ev
 			if w != nil {
-				fmt.Fprintf(w, "  [%s seed %d] %s: %.1f sims, %d full evaluations\n",
-					suiteName, seed, ex.Name(), ev.Sims, len(ev.Points()))
+				st := ev.StageTotals()
+				fmt.Fprintf(w, "  [%s seed %d] %s: %.1f sims, %d full evaluations (sim %v, analysis %v)\n",
+					suiteName, s+1, name, ev.Sims, len(ev.Points()),
+					st.Sim.Round(time.Millisecond), st.DEG.Round(time.Millisecond))
 			}
 		}
 	}
@@ -109,7 +123,7 @@ func runFig10(o Options, w io.Writer) error {
 	if o.Fast {
 		suite = suite[:4]
 	}
-	ev := dse.NewEvaluator(uarch.StandardSpace(), suite, o.TraceLen)
+	ev := newEvaluator(o, suite)
 	pt := ev.Space.Nearest(uarch.Baseline())
 
 	fmt.Fprintf(w, "Figure 10: a bottleneck-removal search path from the Table 1 baseline\n\n")
@@ -208,14 +222,21 @@ func runTable5(o Options, w io.Writer) error {
 			hv   []float64
 		}
 		traces := make(map[string]trace)
-		for seed := int64(1); seed <= int64(o.Seeds); seed++ {
-			for _, ex := range methods(seed) {
-				ev := dse.NewEvaluator(uarch.StandardSpace(), suite, o.TraceLen)
-				if err := ex.Run(ev, o.Budget); err != nil {
-					return err
-				}
+		grid, err := exploreGrid(len(methodNames), o.Seeds, func(m int, seed int64) (*dse.Evaluator, error) {
+			ev := newEvaluator(o, suite)
+			if err := methods(seed)[m].Run(ev, o.Budget); err != nil {
+				return nil, err
+			}
+			return ev, nil
+		})
+		if err != nil {
+			return err
+		}
+		for s := 0; s < o.Seeds; s++ {
+			for m, name := range methodNames {
+				ev := grid[m][s]
 				// Sample HV at 24 budget points.
-				tr := traces[ex.Name()]
+				tr := traces[name]
 				if tr.sims == nil {
 					tr.sims = make([]float64, 24)
 					tr.hv = make([]float64, 24)
@@ -226,7 +247,7 @@ func runTable5(o Options, w io.Writer) error {
 				for i, b := range tr.sims {
 					tr.hv[i] += pareto.Hypervolume(ev.PointsUpTo(b), hvReference) / float64(o.Seeds)
 				}
-				traces[ex.Name()] = tr
+				traces[name] = tr
 			}
 		}
 

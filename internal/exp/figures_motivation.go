@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"archexplorer/internal/mcpat"
+	"archexplorer/internal/par"
 	"archexplorer/internal/uarch"
 	"archexplorer/internal/viz"
 	"archexplorer/internal/workload"
@@ -34,20 +35,31 @@ func init() {
 }
 
 // evalOn evaluates one config on a suite, returning mean IPC, mean power,
-// and area.
-func evalOn(cfg uarch.Config, suite []workload.Profile, traceLen int) (ipc, pow, area float64, err error) {
-	for _, wl := range suite {
-		_, st, e := simulate(cfg, wl, traceLen)
+// and area. The per-workload runs are independent, so they fan out under
+// the given parallelism bound (0 defaults to GOMAXPROCS, 1 is sequential);
+// the sums reduce in suite order, so the result is identical either way.
+func evalOn(cfg uarch.Config, suite []workload.Profile, traceLen, parallelism int) (ipc, pow, area float64, err error) {
+	type slot struct{ ipc, pow, area float64 }
+	slots := make([]slot, len(suite))
+	err = par.ForEach(len(suite), parallelism, func(i int) error {
+		_, st, e := simulate(cfg, suite[i], traceLen)
 		if e != nil {
-			return 0, 0, 0, e
+			return e
 		}
 		pw, e := mcpat.Evaluate(cfg, st)
 		if e != nil {
-			return 0, 0, 0, e
+			return e
 		}
-		ipc += st.IPC()
-		pow += pw.PowerW
-		area = pw.AreaMM2
+		slots[i] = slot{ipc: st.IPC(), pow: pw.PowerW, area: pw.AreaMM2}
+		return nil
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	for _, s := range slots {
+		ipc += s.ipc
+		pow += s.pow
+		area = s.area
 	}
 	n := float64(len(suite))
 	return ipc / n, pow / n, area, nil
@@ -64,11 +76,19 @@ func runFig1(o Options, w io.Writer) error {
 	s := uarch.StandardSpace()
 	rng := rand.New(rand.NewSource(458))
 
-	var feats [][]float64
-	var perf, pow, area []float64
-	for i := 0; i < o.Samples; i++ {
-		pt := s.Random(rng)
-		cfg := s.Decode(pt)
+	// The rng draw order defines the sample set, so draw every point up
+	// front, then evaluate the samples concurrently into index-aligned
+	// slots — the figures come out identical to the sequential loop.
+	pts := make([]uarch.Point, o.Samples)
+	for i := range pts {
+		pts[i] = s.Random(rng)
+	}
+	feats := make([][]float64, o.Samples)
+	perf := make([]float64, o.Samples)
+	pow := make([]float64, o.Samples)
+	area := make([]float64, o.Samples)
+	err = par.ForEach(o.Samples, o.Parallelism, func(i int) error {
+		cfg := s.Decode(pts[i])
 		_, st, err := simulate(cfg, wl, o.TraceLen)
 		if err != nil {
 			return err
@@ -79,12 +99,16 @@ func runFig1(o Options, w io.Writer) error {
 		}
 		f := make([]float64, uarch.NumParams)
 		for p := 0; p < uarch.NumParams; p++ {
-			f[p] = float64(pt[p]) / float64(s.Levels(uarch.Param(p))-1)
+			f[p] = float64(pts[i][p]) / float64(s.Levels(uarch.Param(p))-1)
 		}
-		feats = append(feats, f)
-		perf = append(perf, st.IPC())
-		pow = append(pow, pwm.PowerW)
-		area = append(area, pwm.AreaMM2)
+		feats[i] = f
+		perf[i] = st.IPC()
+		pow[i] = pwm.PowerW
+		area[i] = pwm.AreaMM2
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 
 	emb := viz.TSNE(feats, 15, 250, 1)
@@ -179,26 +203,44 @@ func runFig2(o Options, w io.Writer) error {
 		suite = suite[:6]
 	}
 	base := uarch.Baseline()
-	bIPC, bPow, bArea, err := evalOn(base, suite, o.TraceLen)
+	bIPC, bPow, bArea, err := evalOn(base, suite, o.TraceLen, o.Parallelism)
 	if err != nil {
 		return err
 	}
 	bPPA := mcpat.PPA(bIPC, bPow, bArea)
 
-	var labels []string
-	var dPerf, dPow, dArea, dPPA []float64
-	for _, d := range fig2Doublings() {
+	// The doublings are independent one-off evaluations; fan them out and
+	// reduce in definition order. Each evalOn already fans its workloads
+	// out — both semaphores are private, so nesting cannot deadlock.
+	ds := fig2Doublings()
+	type delta struct{ perf, pow, area, ppa float64 }
+	deltas := make([]delta, len(ds))
+	err = par.ForEach(len(ds), len(ds), func(i int) error {
 		cfg := base
-		d.apply(&cfg)
-		ipc, pow, area, err := evalOn(cfg, suite, o.TraceLen)
+		ds[i].apply(&cfg)
+		ipc, pow, area, err := evalOn(cfg, suite, o.TraceLen, o.Parallelism)
 		if err != nil {
 			return err
 		}
+		deltas[i] = delta{
+			perf: 100 * (ipc - bIPC) / bIPC,
+			pow:  100 * (pow - bPow) / bPow,
+			area: 100 * (area - bArea) / bArea,
+			ppa:  100 * (mcpat.PPA(ipc, pow, area) - bPPA) / bPPA,
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	var labels []string
+	var dPerf, dPow, dArea, dPPA []float64
+	for i, d := range ds {
 		labels = append(labels, d.name)
-		dPerf = append(dPerf, 100*(ipc-bIPC)/bIPC)
-		dPow = append(dPow, 100*(pow-bPow)/bPow)
-		dArea = append(dArea, 100*(area-bArea)/bArea)
-		dPPA = append(dPPA, 100*(mcpat.PPA(ipc, pow, area)-bPPA)/bPPA)
+		dPerf = append(dPerf, deltas[i].perf)
+		dPow = append(dPow, deltas[i].pow)
+		dArea = append(dArea, deltas[i].area)
+		dPPA = append(dPPA, deltas[i].ppa)
 	}
 
 	fmt.Fprintf(w, "Figure 2: doubling one component of the Table 1 baseline (%% change)\n\n")
@@ -225,7 +267,7 @@ func runFig3(o Options, w io.Writer) error {
 	pt := s.Nearest(uarch.Baseline())
 
 	b0 := s.Decode(pt)
-	ipc0, pow0, area0, err := evalOn(b0, suite, o.TraceLen)
+	ipc0, pow0, area0, err := evalOn(b0, suite, o.TraceLen, o.Parallelism)
 	if err != nil {
 		return err
 	}
@@ -290,7 +332,7 @@ func runFig3(o Options, w io.Writer) error {
 		}
 
 		cfg = s.Decode(pt)
-		ipc, pow, area, err := evalOn(cfg, suite, o.TraceLen)
+		ipc, pow, area, err := evalOn(cfg, suite, o.TraceLen, o.Parallelism)
 		if err != nil {
 			return err
 		}

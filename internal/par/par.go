@@ -1,0 +1,132 @@
+// Package par is the small concurrency toolkit shared by the DSE
+// evaluator, the experiment harness, and the ML baselines: a bounded
+// errgroup-style Group, an indexed ForEach with deterministic error
+// selection, and a process-wide compute-slot pool sized to GOMAXPROCS so
+// nested fan-outs (batches of design points × workloads × experiment
+// combos) cannot oversubscribe the machine.
+//
+// The split mirrors the two levels every caller has: *structural*
+// concurrency (one goroutine per independent unit of work, managed by
+// Group/ForEach) and *compute* concurrency (the CPU-bound leaf tasks, gated
+// by Slot). Structural goroutines are cheap and may block; only leaf tasks
+// hold a CPU slot, and they must never acquire a second one.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultLimit is the default fan-out width: runtime.GOMAXPROCS(0).
+func DefaultLimit() int { return runtime.GOMAXPROCS(0) }
+
+// cpuSlots is the process-wide compute-slot pool. Its capacity is fixed at
+// init; workers that want a slot queue on the channel.
+var cpuSlots = make(chan struct{}, runtime.GOMAXPROCS(0))
+
+// Slot runs fn while holding one of the process-wide GOMAXPROCS compute
+// slots. It is the gate every CPU-bound leaf task (one workload simulation,
+// one DEG analysis) runs behind, so concurrent batches across evaluators
+// and experiments share the machine instead of multiplying goroutine
+// pressure. fn must not call Slot recursively: a task that holds a slot
+// while waiting for another can deadlock the pool.
+func Slot(fn func()) {
+	cpuSlots <- struct{}{}
+	defer func() { <-cpuSlots }()
+	fn()
+}
+
+// Group is a minimal errgroup: Go spawns tasks (bounded by the limit given
+// to NewGroup), Wait blocks until all complete and returns the first error
+// recorded in completion order. When callers need a *deterministic* error
+// (independent of goroutine scheduling), they should record per-index
+// results and pick the lowest index themselves, or use ForEach which does
+// exactly that.
+type Group struct {
+	wg  sync.WaitGroup
+	sem chan struct{} // nil means unbounded
+
+	mu  sync.Mutex
+	err error
+}
+
+// NewGroup returns a Group running at most limit tasks concurrently;
+// limit <= 0 means unbounded.
+func NewGroup(limit int) *Group {
+	g := &Group{}
+	if limit > 0 {
+		g.sem = make(chan struct{}, limit)
+	}
+	return g
+}
+
+// Go schedules fn on its own goroutine, blocking while the group is at its
+// concurrency limit.
+func (g *Group) Go(fn func() error) {
+	if g.sem != nil {
+		g.sem <- struct{}{}
+	}
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		if g.sem != nil {
+			defer func() { <-g.sem }()
+		}
+		if err := fn(); err != nil {
+			g.mu.Lock()
+			if g.err == nil {
+				g.err = err
+			}
+			g.mu.Unlock()
+		}
+	}()
+}
+
+// Wait blocks until every task started with Go has returned, then reports
+// the first error recorded (unspecified which, under races between tasks).
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.err
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most limit concurrent
+// goroutines (limit <= 0 means DefaultLimit). Every index runs regardless
+// of failures — results stay aligned with inputs — and the returned error
+// is the one from the lowest failing index, so error propagation is
+// deterministic under any schedule.
+func ForEach(n, limit int, fn func(int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if limit <= 0 {
+		limit = DefaultLimit()
+	}
+	if limit == 1 {
+		// Degenerate case: run inline, still completing every index.
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	g := NewGroup(limit)
+	for i := 0; i < n; i++ {
+		i := i
+		g.Go(func() error {
+			errs[i] = fn(i)
+			return nil
+		})
+	}
+	g.Wait() // tasks report via errs; Group's own error is always nil
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

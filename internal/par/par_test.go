@@ -1,0 +1,129 @@
+package par
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryIndex(t *testing.T) {
+	for _, limit := range []int{0, 1, 3, 64} {
+		n := 200
+		seen := make([]int32, n)
+		err := ForEach(n, limit, func(i int) error {
+			atomic.AddInt32(&seen[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("limit %d: %v", limit, err)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("limit %d: index %d ran %d times", limit, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachRespectsLimit(t *testing.T) {
+	const limit = 3
+	var cur, peak int32
+	err := ForEach(100, limit, func(int) error {
+		c := atomic.AddInt32(&cur, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if c <= p || atomic.CompareAndSwapInt32(&peak, p, c) {
+				break
+			}
+		}
+		atomic.AddInt32(&cur, -1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak > limit {
+		t.Fatalf("observed %d concurrent tasks, limit %d", peak, limit)
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	// Higher indices fail "faster" in submission order, but the lowest
+	// failing index must still win.
+	err := ForEach(50, 8, func(i int) error {
+		if i == 7 || i == 33 {
+			return fmt.Errorf("fail %d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "fail 7" {
+		t.Fatalf("got %v, want fail 7", err)
+	}
+	// All indices still ran despite the failure.
+	var ran int32
+	_ = ForEach(20, 4, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i < 5 {
+			return fmt.Errorf("early")
+		}
+		return nil
+	})
+	if ran != 20 {
+		t.Fatalf("only %d/20 indices ran after error", ran)
+	}
+}
+
+func TestGroupCollectsError(t *testing.T) {
+	g := NewGroup(2)
+	for i := 0; i < 10; i++ {
+		i := i
+		g.Go(func() error {
+			if i == 4 {
+				return fmt.Errorf("boom")
+			}
+			return nil
+		})
+	}
+	if err := g.Wait(); err == nil || err.Error() != "boom" {
+		t.Fatalf("got %v", err)
+	}
+	// Empty group waits cleanly.
+	if err := NewGroup(0).Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlotSerializesUnderContention(t *testing.T) {
+	// Many concurrent Slot calls must all complete (no deadlock) and never
+	// exceed the pool capacity.
+	cap := int32(cap(cpuSlots))
+	var cur, peak int32
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			Slot(func() {
+				c := atomic.AddInt32(&cur, 1)
+				for {
+					p := atomic.LoadInt32(&peak)
+					if c <= p || atomic.CompareAndSwapInt32(&peak, p, c) {
+						break
+					}
+				}
+				atomic.AddInt32(&cur, -1)
+			})
+		}()
+	}
+	wg.Wait()
+	if peak > cap {
+		t.Fatalf("%d concurrent slot holders, pool capacity %d", peak, cap)
+	}
+}
+
+func TestDefaultLimitPositive(t *testing.T) {
+	if DefaultLimit() < 1 {
+		t.Fatalf("DefaultLimit = %d", DefaultLimit())
+	}
+}

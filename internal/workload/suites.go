@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"archexplorer/internal/isa"
+	"archexplorer/internal/par"
 )
 
 // The profiles below imitate the SPEC CPU2006/2017 workloads of Table 3.
@@ -90,26 +91,41 @@ func Trace(p Profile, n int) ([]isa.Inst, error) {
 	return prog.NewGenerator(profileSeed(p.Name) ^ 0x5bd1e995).Trace(n), nil
 }
 
-var traceCache sync.Map // key traceKey -> []isa.Inst
+var traceCache sync.Map // key traceKey -> *traceEntry
 
 type traceKey struct {
 	name string
 	n    int
 }
 
+// traceEntry is a singleflight slot: the first caller generates the trace
+// under the entry's Once while concurrent callers for the same key block on
+// it instead of duplicating the generation work.
+type traceEntry struct {
+	once sync.Once
+	tr   []isa.Inst
+	err  error
+}
+
 // CachedTrace is Trace with process-wide memoisation; the returned slice is
-// shared and must not be modified.
+// shared and must not be modified. It is safe for concurrent use: parallel
+// evaluations of the same (workload, length) pair generate the trace
+// exactly once and share the result.
 func CachedTrace(p Profile, n int) ([]isa.Inst, error) {
-	key := traceKey{p.Name, n}
-	if v, ok := traceCache.Load(key); ok {
-		return v.([]isa.Inst), nil
-	}
-	tr, err := Trace(p, n)
-	if err != nil {
-		return nil, err
-	}
-	actual, _ := traceCache.LoadOrStore(key, tr)
-	return actual.([]isa.Inst), nil
+	v, _ := traceCache.LoadOrStore(traceKey{p.Name, n}, &traceEntry{})
+	e := v.(*traceEntry)
+	e.once.Do(func() { e.tr, e.err = Trace(p, n) })
+	return e.tr, e.err
+}
+
+// Prewarm generates the traces for every profile in the suite, fanning the
+// (deterministic, independent) generations across up to limit goroutines.
+// Evaluations that follow hit the cache. limit <= 0 means GOMAXPROCS.
+func Prewarm(suite []Profile, n, limit int) error {
+	return par.ForEach(len(suite), limit, func(i int) error {
+		_, err := CachedTrace(suite[i], n)
+		return err
+	})
 }
 
 // MixStats summarises the dynamic instruction mix of a trace.

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"sync"
 	"testing"
 
 	"archexplorer/internal/isa"
@@ -176,5 +177,62 @@ func TestGeneratorRespectsCount(t *testing.T) {
 	tr := g.Trace(777)
 	if len(tr) != 777 {
 		t.Fatalf("got %d instructions", len(tr))
+	}
+}
+
+func TestCachedTraceConcurrentSingleflight(t *testing.T) {
+	p, err := ByName("464.h264ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1234 // unique length so this test owns the cache entry
+	const goroutines = 16
+	traces := make([][]isa.Inst, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr, err := CachedTrace(p, n)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			traces[i] = tr
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if len(traces[i]) != n {
+			t.Fatalf("goroutine %d got %d instructions", i, len(traces[i]))
+		}
+		// Singleflight: every caller shares one backing array.
+		if &traces[i][0] != &traces[0][0] {
+			t.Fatal("concurrent CachedTrace produced distinct traces")
+		}
+	}
+}
+
+func TestPrewarmPopulatesCache(t *testing.T) {
+	suite := Suite06()[:3]
+	const n = 321
+	if err := Prewarm(suite, n, 4); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range suite {
+		want, err := Trace(p, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := CachedTrace(p, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: cached trace diverges at %d", p.Name, i)
+			}
+		}
 	}
 }
