@@ -1,10 +1,19 @@
 # Developer entry points. `make ci` is the gate every change must pass:
-# vet plus the full test suite under the race detector (the parallel
-# evaluator's determinism tests only mean something with -race on).
+# vet, the full test suite under the race detector (the parallel
+# evaluator's determinism tests only mean something with -race on), and
+# the coverage floors below.
 
 GO ?= go
 
-.PHONY: build vet test race bench ci
+# Minimum statement coverage for the packages whose correctness rests on
+# their tests rather than on downstream use: the telemetry layer (whose
+# disabled path must stay invisible) and the evaluator/explorer core.
+# Measured 91%/90% when the gates were set; the slack absorbs small
+# refactors, not test deletions.
+COVER_MIN_OBS := 85
+COVER_MIN_DSE := 80
+
+.PHONY: build vet test race cover bench ci
 
 build:
 	$(GO) build ./...
@@ -18,8 +27,19 @@ test:
 race:
 	$(GO) test -race ./...
 
+cover:
+	@set -e; \
+	check() { \
+	  pct=$$($(GO) test -cover "./internal/$$1/" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+	  if [ -z "$$pct" ]; then echo "internal/$$1: coverage not reported (test failure?)"; exit 1; fi; \
+	  echo "internal/$$1 coverage: $$pct% (minimum $$2%)"; \
+	  awk -v p="$$pct" -v m="$$2" 'BEGIN { exit !(p+0 >= m+0) }' || { echo "internal/$$1 coverage below minimum"; exit 1; }; \
+	}; \
+	check obs $(COVER_MIN_OBS); \
+	check dse $(COVER_MIN_DSE)
+
 # One regeneration per experiment plus the evaluator fan-out comparison.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
 
-ci: vet race
+ci: vet race cover

@@ -6,16 +6,18 @@
 //
 //	archexplorer -suite SPEC06 -budget 1200 -seed 1
 //	archexplorer -suite SPEC17 -method BOOM-Explorer   (run a baseline instead)
+//	archexplorer -budget 120 -journal run.jsonl        (then: obsreport run.jsonl)
 package main
 
 import (
 	"flag"
 	"fmt"
-	"os"
 	"strings"
 	"time"
 
+	"archexplorer/internal/cli"
 	"archexplorer/internal/dse"
+	"archexplorer/internal/obs"
 	"archexplorer/internal/pareto"
 	"archexplorer/internal/persist"
 	"archexplorer/internal/uarch"
@@ -23,6 +25,7 @@ import (
 )
 
 func main() {
+	cli.Init("archexplorer")
 	var (
 		suiteName = flag.String("suite", "SPEC06", "workload suite: SPEC06 or SPEC17")
 		budget    = flag.Int("budget", 720, "simulation budget (full config-workload runs)")
@@ -31,7 +34,9 @@ func main() {
 		method    = flag.String("method", "ArchExplorer", "ArchExplorer | Random | AdaBoost | BOOM-Explorer | ArchRanker")
 		parallel  = flag.Int("parallel", 0, "concurrent simulations per evaluation (0 = all cores, 1 = sequential)")
 		out       = flag.String("out", "", "write the exploration campaign to this JSON file")
+		tele      cli.Telemetry
 	)
+	tele.AddTelemetryFlags(flag.CommandLine)
 	flag.Parse()
 
 	var suite []workload.Profile
@@ -41,8 +46,7 @@ func main() {
 	case "SPEC17":
 		suite = workload.Suite17()
 	default:
-		fmt.Fprintf(os.Stderr, "unknown suite %q\n", *suiteName)
-		os.Exit(2)
+		cli.Usagef("unknown suite %q", *suiteName)
 	}
 
 	var ex dse.Explorer
@@ -58,18 +62,29 @@ func main() {
 	case "ArchRanker":
 		ex = dse.NewArchRankerDSE(*seed)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown method %q\n", *method)
-		os.Exit(2)
+		cli.Usagef("unknown method %q", *method)
 	}
+
+	rec, stopTelemetry, err := tele.Start()
+	cli.Check(err)
+
+	ref := pareto.StandardReference
+	rec.Emit(&obs.RunStart{
+		Tool: "archexplorer", Method: ex.Name(), Suite: strings.ToUpper(*suiteName),
+		Budget: *budget, TraceLen: *traceLen, Parallelism: *parallel,
+		HVRef: [3]float64{ref.Perf, ref.Power, ref.Area},
+		Time:  time.Now().Format(time.RFC3339),
+	})
 
 	ev := dse.NewEvaluator(uarch.StandardSpace(), suite, *traceLen)
 	ev.Parallelism = *parallel
+	ev.Obs = rec
 	fmt.Printf("%s on %s (%d workloads), budget %d simulations\n",
 		ex.Name(), *suiteName, len(suite), *budget)
 	start := time.Now()
 	if err := ex.Run(ev, *budget); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		stopTelemetry()
+		cli.Fatal(err)
 	}
 	st := ev.StageTotals()
 	fmt.Printf("wall-clock %v (worker time: sim %v, power %v, analysis %v, traces %v)\n",
@@ -77,12 +92,19 @@ func main() {
 		st.Power.Round(time.Millisecond), st.DEG.Round(time.Millisecond),
 		st.Trace.Round(time.Millisecond))
 
-	ref := pareto.Reference{Perf: 0.01, Power: 1.5, Area: 25}
 	pts := ev.PointsUpTo(float64(*budget))
 	fr := pareto.Frontier(pts)
+	hv := pareto.Hypervolume(pts, ref)
 	fmt.Printf("\nspent %.1f simulations, %d designs explored, %d full evaluations\n",
 		ev.Sims, len(pts), len(ev.Points()))
-	fmt.Printf("Pareto hypervolume: %.4f\n\n", pareto.Hypervolume(pts, ref))
+	fmt.Printf("Pareto hypervolume: %.4f\n\n", hv)
+
+	rec.Emit(&obs.RunEnd{
+		Tool: "archexplorer", Sims: ev.Sims, HV: hv,
+		ElapsedNS: time.Since(start).Nanoseconds(),
+		Metrics:   rec.Registry().Snapshot(),
+	})
+	stopTelemetry()
 
 	fmt.Printf("Pareto frontier (%d designs):\n", len(fr))
 	fmt.Printf("%8s %10s %10s %12s\n", "IPC", "power(W)", "area(mm2)", "Perf2/(PxA)")
@@ -107,10 +129,8 @@ func main() {
 
 	if *out != "" {
 		c := persist.FromEvaluator(ex.Name(), *suiteName, *budget, ev)
-		if err := c.Save(*out); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+		c.Journal = tele.Journal
+		cli.Check(c.Save(*out))
 		fmt.Printf("campaign written to %s (%d designs)\n", *out, len(c.Designs))
 	}
 }

@@ -12,21 +12,26 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"archexplorer/internal/cli"
 	"archexplorer/internal/deg"
 	"archexplorer/internal/mcpat"
+	"archexplorer/internal/obs"
 	"archexplorer/internal/ooo"
 	"archexplorer/internal/uarch"
 	"archexplorer/internal/workload"
 )
 
 func main() {
+	cli.Init("bottleneck")
 	cfg := uarch.Baseline()
 	var (
 		wlName = flag.String("workload", "458.sjeng", "workload name (see Table 3)")
 		n      = flag.Int("n", 10000, "instructions to simulate")
 		all    = flag.Bool("all", false, "average the report over every workload")
 		dotOut = flag.String("dot", "", "write the induced DEG as Graphviz DOT to this file (small -n only)")
+		tele   cli.Telemetry
 	)
 	flag.IntVar(&cfg.Width, "width", cfg.Width, "pipeline width")
 	flag.IntVar(&cfg.ROBEntries, "rob", cfg.ROBEntries, "reorder buffer entries")
@@ -38,11 +43,11 @@ func main() {
 	flag.IntVar(&cfg.IntALU, "intalu", cfg.IntALU, "integer ALUs")
 	flag.IntVar(&cfg.DCacheKB, "dcache", cfg.DCacheKB, "L1 D$ size in KB")
 	flag.IntVar(&cfg.ICacheKB, "icache", cfg.ICacheKB, "L1 I$ size in KB")
+	tele.AddTelemetryFlags(flag.CommandLine)
 	flag.Parse()
 
 	if err := cfg.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		cli.Usagef("%v", err)
 	}
 
 	profiles := []workload.Profile{}
@@ -50,56 +55,64 @@ func main() {
 		profiles = workload.All()
 	} else {
 		p, err := workload.ByName(*wlName)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+		cli.Check(err)
 		profiles = append(profiles, p)
 	}
+
+	rec, stopTelemetry, err := tele.Start()
+	cli.Check(err)
+	defer stopTelemetry()
+	rec.Emit(&obs.RunStart{
+		Tool: "bottleneck", TraceLen: *n,
+		Time: time.Now().Format(time.RFC3339),
+	})
+	start := time.Now()
 
 	fmt.Printf("config: %s\n\n", cfg)
 	var reports []*deg.Report
 	for _, p := range profiles {
+		var times [4]time.Duration // trace, sim, power, deg
+		t0 := time.Now()
 		stream, err := workload.CachedTrace(p, *n)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+		cli.Check(err)
+		times[0] = time.Since(t0)
+
 		core, err := ooo.New(cfg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+		cli.Check(err)
+		t0 = time.Now()
 		tr, stats, err := core.Run(stream)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+		cli.Check(err)
+		times[1] = time.Since(t0)
+
+		t0 = time.Now()
 		pw, err := mcpat.Evaluate(cfg, stats)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+		cli.Check(err)
+		times[2] = time.Since(t0)
+
+		t0 = time.Now()
 		rep, g, cp, err := deg.Analyze(tr, deg.Options{})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+		cli.Check(err)
+		times[3] = time.Since(t0)
 		reports = append(reports, rep)
+
+		rec.Counter(obs.MetricEvaluations).Inc()
+		rec.Histogram(obs.MetricStageTrace).Observe(times[0].Seconds())
+		rec.Histogram(obs.MetricStageSim).Observe(times[1].Seconds())
+		rec.Histogram(obs.MetricStagePower).Observe(times[2].Seconds())
+		rec.Histogram(obs.MetricStageDEG).Observe(times[3].Seconds())
+		rec.Emit(&obs.EvalSpan{
+			Span: rec.NextSpan(), Config: cfg.String() + " @ " + p.Name,
+			SimsAt: float64(len(reports)), Perf: stats.IPC(), PowerW: pw.PowerW, AreaMM2: pw.AreaMM2,
+			TraceNS: times[0].Nanoseconds(), SimNS: times[1].Nanoseconds(),
+			PowerNS: times[2].Nanoseconds(), DEGNS: times[3].Nanoseconds(),
+			ElapsedNS: (times[0] + times[1] + times[2] + times[3]).Nanoseconds(),
+		})
+
 		if *dotOut != "" && !*all {
 			f, err := os.Create(*dotOut)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			if err := g.WriteDOT(f, cp); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			if err := f.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
+			cli.Check(err)
+			cli.Check(g.WriteDOT(f, cp))
+			cli.Check(f.Close())
 			fmt.Printf("DEG written to %s\n", *dotOut)
 		}
 		fmt.Printf("%-18s IPC=%.4f  power=%.4f W  area=%.3f mm2  mispredict=%.2f%%  d$miss=%.2f%%\n",
@@ -112,12 +125,14 @@ func main() {
 	}
 	if *all {
 		merged, err := deg.Merge(reports, nil)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+		cli.Check(err)
 		fmt.Printf("\nEquation-2 weighted average across %d workloads:\n%s", len(reports), merged)
 	}
+	rec.Emit(&obs.RunEnd{
+		Tool: "bottleneck", Sims: float64(len(reports)),
+		ElapsedNS: time.Since(start).Nanoseconds(),
+		Metrics:   rec.Registry().Snapshot(),
+	})
 }
 
 func max(a, b uint64) uint64 {

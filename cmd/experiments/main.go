@@ -5,6 +5,7 @@
 //	experiments -list
 //	experiments -run table5 -budget 2400 -seeds 3
 //	experiments -run all -fast
+//	experiments -run table5 -journal exp.jsonl -progress 10s
 package main
 
 import (
@@ -13,10 +14,13 @@ import (
 	"os"
 	"time"
 
+	"archexplorer/internal/cli"
 	"archexplorer/internal/exp"
+	"archexplorer/internal/obs"
 )
 
 func main() {
+	cli.Init("experiments")
 	var (
 		run      = flag.String("run", "", "experiment to run (see -list), or \"all\"")
 		list     = flag.Bool("list", false, "list available experiments")
@@ -26,7 +30,9 @@ func main() {
 		samples  = flag.Int("samples", 0, "design samples for fig1")
 		parallel = flag.Int("parallel", 0, "concurrent simulations per evaluation (0 = all cores, 1 = sequential)")
 		fast     = flag.Bool("fast", false, "shrink all experiments for a quick pass")
+		tele     cli.Telemetry
 	)
+	tele.AddTelemetryFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list || *run == "" {
@@ -40,13 +46,23 @@ func main() {
 		return
 	}
 
+	rec, stopTelemetry, err := tele.Start()
+	cli.Check(err)
+	defer stopTelemetry()
+
 	opts := exp.Options{
 		Budget:      *budget,
 		TraceLen:    *traceLen,
 		Seeds:       *seeds,
 		Samples:     *samples,
 		Parallelism: *parallel,
+		Obs:         rec,
 		Fast:        *fast,
+	}
+	// Campaign grids are multi-minute; surface cell completions live
+	// whenever any telemetry is on.
+	if rec != nil {
+		opts.Progress = os.Stderr
 	}
 
 	names := []string{*run}
@@ -56,18 +72,23 @@ func main() {
 			names = append(names, e.Name)
 		}
 	}
+	start := time.Now()
+	rec.Emit(&obs.RunStart{
+		Tool: "experiments", Budget: *budget, TraceLen: *traceLen,
+		Parallelism: *parallel, Time: time.Now().Format(time.RFC3339),
+	})
 	for _, name := range names {
 		e, err := exp.Get(name)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+		cli.Check(err)
 		fmt.Printf("==== %s (%s) ====\n", e.Name, e.Paper)
-		start := time.Now()
+		expStart := time.Now()
 		if err := e.Run(opts, os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.Name, err)
-			os.Exit(1)
+			cli.Fatalf("%s: %v", e.Name, err)
 		}
-		fmt.Printf("(%s finished in %v)\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s finished in %v)\n\n", e.Name, time.Since(expStart).Round(time.Millisecond))
 	}
+	rec.Emit(&obs.RunEnd{
+		Tool: "experiments", ElapsedNS: time.Since(start).Nanoseconds(),
+		Metrics: rec.Registry().Snapshot(),
+	})
 }

@@ -1,0 +1,331 @@
+// Command obsreport post-processes a JSONL run journal (written by the
+// other binaries' -journal flag) into the run's story: where worker time
+// went per pipeline stage, how well the evaluation cache did, how
+// hypervolume grew as budget was spent, and which resources the
+// bottleneck analysis kept fingering iteration by iteration.
+//
+// Usage:
+//
+//	archexplorer -suite SPEC06 -budget 120 -journal run.jsonl
+//	obsreport run.jsonl
+//	obsreport -iters 0 run.jsonl       # skip the per-iteration table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"archexplorer/internal/cli"
+	"archexplorer/internal/obs"
+	"archexplorer/internal/pareto"
+)
+
+func main() {
+	cli.Init("obsreport")
+	var (
+		steps = flag.Int("steps", 10, "budget steps in the hypervolume trajectory")
+		iters = flag.Int("iters", 40, "explorer iterations to list (0 = none, -1 = all)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		cli.Usagef("usage: obsreport [flags] <run.jsonl>")
+	}
+
+	events, err := obs.LoadJournal(flag.Arg(0))
+	cli.Check(err)
+	if len(events) == 0 {
+		cli.Fatalf("%s: empty journal", flag.Arg(0))
+	}
+
+	var start *obs.RunStart
+	var end *obs.RunEnd
+	var iterEvents []*obs.IterEvent
+	var grids []*obs.GridProgress
+	spans := reduceSpans(events, &start, &end, &iterEvents, &grids)
+
+	printHeader(start, end, len(events))
+	printStages(spans)
+	printCache(end, spans)
+	printTrajectory(spans, start, end, *steps)
+	printIterations(iterEvents, *iters)
+	if len(grids) > 0 {
+		last := grids[len(grids)-1]
+		fmt.Printf("campaign grid: %d/%d cells completed\n\n", last.Done, last.Total)
+	}
+}
+
+// reduceSpans mirrors the evaluator's in-place history upgrades: a span
+// that replaces another takes the superseded span's slot, so the result
+// is ordered exactly like Evaluator.History and sums to StageTotals.
+func reduceSpans(events []obs.Event, start **obs.RunStart, end **obs.RunEnd,
+	iters *[]*obs.IterEvent, grids *[]*obs.GridProgress) []*obs.EvalSpan {
+	var out []*obs.EvalSpan
+	slot := map[int64]int{}
+	for _, e := range events {
+		switch v := e.(type) {
+		case *obs.RunStart:
+			if *start == nil {
+				*start = v
+			}
+		case *obs.RunEnd:
+			*end = v
+		case *obs.IterEvent:
+			*iters = append(*iters, v)
+		case *obs.GridProgress:
+			*grids = append(*grids, v)
+		case *obs.EvalSpan:
+			if i, ok := slot[v.Replaces]; v.Replaces != 0 && ok {
+				delete(slot, v.Replaces)
+				out[i] = v
+				slot[v.Span] = i
+				continue
+			}
+			slot[v.Span] = len(out)
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func printHeader(start *obs.RunStart, end *obs.RunEnd, n int) {
+	if start == nil {
+		fmt.Printf("journal: %d events (no run_start; partial journal?)\n\n", n)
+		return
+	}
+	fmt.Printf("run: %s", start.Tool)
+	if start.Method != "" {
+		fmt.Printf(" / %s", start.Method)
+	}
+	if start.Suite != "" {
+		fmt.Printf(" on %s", start.Suite)
+	}
+	if start.Budget > 0 {
+		fmt.Printf(", budget %d", start.Budget)
+	}
+	if start.TraceLen > 0 {
+		fmt.Printf(", tracelen %d", start.TraceLen)
+	}
+	fmt.Printf(" (%d events)\n", n)
+	if end != nil {
+		fmt.Printf("outcome: %.1f sims in %v", end.Sims, time.Duration(end.ElapsedNS).Round(time.Millisecond))
+		if end.HV != 0 {
+			fmt.Printf(", final hypervolume %.4f", end.HV)
+		}
+		fmt.Println()
+	} else {
+		fmt.Println("outcome: no run_end event — the run did not finish cleanly")
+	}
+	fmt.Println()
+}
+
+func printStages(spans []*obs.EvalSpan) {
+	if len(spans) == 0 {
+		return
+	}
+	var trace, sim, power, deg time.Duration
+	evals, probes := 0, 0
+	for _, s := range spans {
+		trace += time.Duration(s.TraceNS)
+		sim += time.Duration(s.SimNS)
+		power += time.Duration(s.PowerNS)
+		deg += time.Duration(s.DEGNS)
+		if s.Probe {
+			probes++
+		} else {
+			evals++
+		}
+	}
+	total := trace + sim + power + deg
+	fmt.Printf("stage-time breakdown (%d full evaluations, %d probes):\n", evals, probes)
+	pct := func(d time.Duration) float64 {
+		if total == 0 {
+			return 0
+		}
+		return 100 * float64(d) / float64(total)
+	}
+	fmt.Printf("  %-10s %12s %6.1f%%\n", "sim", sim.Round(time.Microsecond), pct(sim))
+	fmt.Printf("  %-10s %12s %6.1f%%\n", "analysis", deg.Round(time.Microsecond), pct(deg))
+	fmt.Printf("  %-10s %12s %6.1f%%\n", "power", power.Round(time.Microsecond), pct(power))
+	fmt.Printf("  %-10s %12s %6.1f%%\n", "traces", trace.Round(time.Microsecond), pct(trace))
+	fmt.Printf("  %-10s %12s\n\n", "total", total.Round(time.Microsecond))
+}
+
+func printCache(end *obs.RunEnd, spans []*obs.EvalSpan) {
+	if end == nil || end.Metrics == nil {
+		return
+	}
+	hits := end.Metrics[obs.MetricCacheHits]
+	misses := end.Metrics[obs.MetricCacheMisses]
+	upgrades := end.Metrics[obs.MetricCacheUpgrades]
+	if hits+misses == 0 {
+		return
+	}
+	fmt.Printf("evaluation cache: %.0f hits / %.0f lookups (%.1f%% hit rate), %.0f DEG upgrades\n\n",
+		hits, hits+misses, 100*hits/(hits+misses), upgrades)
+	_ = spans
+}
+
+func printTrajectory(spans []*obs.EvalSpan, start *obs.RunStart, end *obs.RunEnd, steps int) {
+	if len(spans) == 0 || steps <= 0 {
+		return
+	}
+	ref := pareto.StandardReference
+	if start != nil && start.HVRef != [3]float64{} {
+		ref = pareto.Reference{Perf: start.HVRef[0], Power: start.HVRef[1], Area: start.HVRef[2]}
+	}
+	budget := 0.0
+	if start != nil && start.Budget > 0 {
+		budget = float64(start.Budget)
+	}
+	maxAt := 0.0
+	for _, s := range spans {
+		if s.SimsAt > maxAt {
+			maxAt = s.SimsAt
+		}
+	}
+	if budget == 0 {
+		budget = maxAt
+	}
+	hvAt := func(b float64) float64 {
+		var pts []pareto.Point
+		for _, s := range spans {
+			if s.SimsAt > b {
+				continue
+			}
+			pts = append(pts, pareto.Point{Perf: s.Perf, Power: s.PowerW, Area: s.AreaMM2})
+		}
+		return pareto.Hypervolume(pts, ref)
+	}
+	fmt.Printf("hypervolume vs budget (reference perf=%g power=%g area=%g):\n", ref.Perf, ref.Power, ref.Area)
+	fmt.Printf("  %10s %12s\n", "sims", "hypervolume")
+	for i := 1; i <= steps; i++ {
+		b := budget * float64(i) / float64(steps)
+		fmt.Printf("  %10.1f %12.4f\n", b, hvAt(b))
+	}
+	final := hvAt(budget)
+	fmt.Printf("  final (budget %.0f): %.4f", budget, final)
+	if end != nil && end.HV != 0 {
+		if d := final - end.HV; d < 1e-9 && d > -1e-9 {
+			fmt.Printf("  — matches the run's reported hypervolume")
+		} else {
+			fmt.Printf("  — run reported %.4f (journal incomplete?)", end.HV)
+		}
+	}
+	fmt.Print("\n\n")
+}
+
+func printIterations(iters []*obs.IterEvent, limit int) {
+	steps := iters[:0:0]
+	phases := map[string]int{}
+	topCount := map[string]int{}
+	for _, it := range iters {
+		if it.Phase != "" {
+			phases[it.Explorer+" "+it.Phase]++
+			continue
+		}
+		steps = append(steps, it)
+		if len(it.Top) > 0 {
+			topCount[it.Top[0].Res]++
+		}
+	}
+	if len(phases) > 0 {
+		var keys []string
+		for k := range phases {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Printf("explorer phases:")
+		for _, k := range keys {
+			fmt.Printf("  %s ×%d", k, phases[k])
+		}
+		fmt.Print("\n\n")
+	}
+	if len(steps) == 0 {
+		return
+	}
+	if len(topCount) > 0 {
+		type rc struct {
+			res string
+			n   int
+		}
+		var ranked []rc
+		for r, n := range topCount {
+			ranked = append(ranked, rc{r, n})
+		}
+		sort.Slice(ranked, func(i, j int) bool {
+			if ranked[i].n != ranked[j].n {
+				return ranked[i].n > ranked[j].n
+			}
+			return ranked[i].res < ranked[j].res
+		})
+		fmt.Printf("top bottleneck across %d iterations:", len(steps))
+		for _, r := range ranked {
+			fmt.Printf("  %s ×%d", r.res, r.n)
+		}
+		fmt.Print("\n\n")
+	}
+	if limit == 0 {
+		return
+	}
+	shown := steps
+	if limit > 0 && len(shown) > limit {
+		shown = shown[:limit]
+	}
+	fmt.Printf("iterations (%d of %d):\n", len(shown), len(steps))
+	fmt.Printf("  %-9s %8s %10s %6s  %-28s %s\n", "walk/step", "sims", "hv", "best", "top bottlenecks", "resize")
+	for _, it := range shown {
+		var tops []string
+		for _, c := range it.Top {
+			tops = append(tops, fmt.Sprintf("%s %.2f", c.Res, c.Contrib))
+		}
+		resize := describeResize(it)
+		fmt.Printf("  %4d/%-4d %8.1f %10.4f %6.3f  %-28s %s\n",
+			it.Walk, it.Step, it.Sims, it.HV, it.BestIPC, strings.Join(tops, ", "), resize)
+	}
+	if len(shown) < len(steps) {
+		fmt.Printf("  … %d more (rerun with -iters -1)\n", len(steps)-len(shown))
+	}
+	fmt.Println()
+}
+
+func describeResize(it *obs.IterEvent) string {
+	var parts []string
+	if len(it.Grown) > 0 {
+		parts = append(parts, compactNames("+", it.Grown))
+	}
+	if len(it.Shrunk) > 0 {
+		parts = append(parts, compactNames("-", it.Shrunk))
+	}
+	if it.Improved {
+		parts = append(parts, "improved")
+	}
+	if len(parts) == 0 {
+		return "—"
+	}
+	return strings.Join(parts, " ")
+}
+
+// compactNames folds repeated resize targets ("-IntRF,-IntRF,-IntRF" from
+// a multi-level shrink) into "-IntRF×3", keeping first-occurrence order.
+func compactNames(sign string, names []string) string {
+	count := map[string]int{}
+	var order []string
+	for _, n := range names {
+		if count[n] == 0 {
+			order = append(order, n)
+		}
+		count[n]++
+	}
+	var out []string
+	for _, n := range order {
+		if count[n] > 1 {
+			out = append(out, fmt.Sprintf("%s%s×%d", sign, n, count[n]))
+		} else {
+			out = append(out, sign+n)
+		}
+	}
+	return strings.Join(out, ",")
+}

@@ -15,28 +15,48 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"time"
 
+	"archexplorer/internal/cli"
+	"archexplorer/internal/obs"
 	"archexplorer/internal/workload"
 )
 
 func main() {
+	cli.Init("tracegen")
 	var (
 		name    = flag.String("workload", "458.sjeng", "workload name")
 		n       = flag.Int("n", 20, "instructions to generate")
 		verbose = flag.Bool("v", false, "print the instruction listing")
 		stats   = flag.Bool("stats", false, "print mix statistics for every workload")
 		csvPath = flag.String("csv", "", "write the trace as CSV to this file")
+		tele    cli.Telemetry
 	)
+	tele.AddTelemetryFlags(flag.CommandLine)
 	flag.Parse()
+
+	rec, stopTelemetry, err := tele.Start()
+	cli.Check(err)
+	defer stopTelemetry()
+	rec.Emit(&obs.RunStart{Tool: "tracegen", TraceLen: *n, Time: time.Now().Format(time.RFC3339)})
+	start := time.Now()
+	generated := 0
+	defer func() {
+		rec.Emit(&obs.RunEnd{
+			Tool: "tracegen", Sims: float64(generated),
+			ElapsedNS: time.Since(start).Nanoseconds(),
+			Metrics:   rec.Registry().Snapshot(),
+		})
+	}()
 
 	if *stats {
 		fmt.Printf("%-18s %-7s %8s %8s %8s %8s\n", "workload", "suite", "loads", "stores", "branches", "taken%")
 		for _, p := range workload.All() {
+			t0 := time.Now()
 			tr, err := workload.CachedTrace(p, *n)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
+			cli.Check(err)
+			rec.Histogram(obs.MetricStageTrace).Observe(time.Since(t0).Seconds())
+			generated++
 			m := workload.Mix(tr)
 			taken := 0.0
 			if m.Branches > 0 {
@@ -48,22 +68,16 @@ func main() {
 	}
 
 	p, err := workload.ByName(*name)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+	cli.Check(err)
+	t0 := time.Now()
 	tr, err := workload.Trace(p, *n)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+	cli.Check(err)
+	rec.Histogram(obs.MetricStageTrace).Observe(time.Since(t0).Seconds())
+	generated++
 
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+		cli.Check(err)
 		w := csv.NewWriter(f)
 		_ = w.Write([]string{"seq", "pc", "class", "src1", "src2", "dest", "addr", "taken", "target"})
 		for i := range tr {
@@ -79,14 +93,8 @@ func main() {
 			})
 		}
 		w.Flush()
-		if err := w.Error(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+		cli.Check(w.Error())
+		cli.Check(f.Close())
 		fmt.Printf("wrote %d instructions to %s\n", len(tr), *csvPath)
 		return
 	}

@@ -1,0 +1,104 @@
+// Package cli holds the small amount of plumbing the repo's binaries
+// share: a consistent "tool: message" error-exit convention and the
+// telemetry flag set (-journal, -metrics-addr, -progress) that attaches
+// an obs.Recorder to whatever the tool runs.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"archexplorer/internal/obs"
+)
+
+// tool is the program name prefixed to every error line. Set once by
+// Init; defaults to os.Args[0]'s base for tools that skip Init.
+var tool = "cli"
+
+// Init records the tool name used in error messages. Call it before
+// flag.Parse in every main.
+func Init(name string) { tool = name }
+
+// Fatal prints "tool: err" to stderr and exits 1. Use it for runtime
+// failures (I/O, simulation errors) — anything that is not a usage
+// mistake.
+func Fatal(err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	os.Exit(1)
+}
+
+// Fatalf is Fatal with formatting.
+func Fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "%s: %s\n", tool, fmt.Sprintf(format, args...))
+	os.Exit(1)
+}
+
+// Check calls Fatal if err is non-nil. It collapses the dominant
+// error-handling pattern in the binaries to one line.
+func Check(err error) {
+	if err != nil {
+		Fatal(err)
+	}
+}
+
+// Usagef prints "tool: message" to stderr and exits 2 — the
+// conventional exit code for bad invocations (unknown flag values,
+// missing arguments).
+func Usagef(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "%s: %s\n", tool, fmt.Sprintf(format, args...))
+	os.Exit(2)
+}
+
+// Telemetry is the shared observability flag set. All three flags
+// default off; with all of them off Start returns a nil recorder, and a
+// nil *obs.Recorder is inert by contract, so the instrumented code path
+// behaves byte-identically to an unwired binary.
+type Telemetry struct {
+	// Journal is the run-journal JSONL path (-journal).
+	Journal string
+	// MetricsAddr is the listen address for /metrics, /debug/pprof and
+	// /debug/vars (-metrics-addr), e.g. "localhost:9090".
+	MetricsAddr string
+	// Progress is the interval between live summary lines on stderr
+	// (-progress), 0 to disable.
+	Progress time.Duration
+}
+
+// AddTelemetryFlags registers the shared flags on fs (pass flag.CommandLine
+// from a main).
+func (t *Telemetry) AddTelemetryFlags(fs *flag.FlagSet) {
+	fs.StringVar(&t.Journal, "journal", "", "write a JSONL run journal to this file (read it back with obsreport)")
+	fs.StringVar(&t.MetricsAddr, "metrics-addr", "", "serve Prometheus /metrics, /debug/pprof and /debug/vars on this address")
+	fs.DurationVar(&t.Progress, "progress", 0, "print a live telemetry summary line at this interval (e.g. 5s); 0 disables")
+}
+
+// Start builds the recorder the flags ask for. With every flag off it
+// returns (nil, no-op cleanup, nil): downstream code hands the nil
+// recorder to evaluators and explorers and pays only nil checks. The
+// cleanup closes the journal and stops the progress ticker; call it
+// before reading the journal back.
+func (t *Telemetry) Start() (*obs.Recorder, func(), error) {
+	if t.Journal == "" && t.MetricsAddr == "" && t.Progress == 0 {
+		return nil, func() {}, nil
+	}
+	rec := obs.New()
+	if t.Journal != "" {
+		if err := rec.OpenJournal(t.Journal); err != nil {
+			return nil, func() {}, err
+		}
+	}
+	if t.MetricsAddr != "" {
+		addr, err := rec.Serve(t.MetricsAddr)
+		if err != nil {
+			rec.Close()
+			return nil, func() {}, err
+		}
+		fmt.Fprintf(os.Stderr, "%s: metrics on http://%s/metrics (pprof on /debug/pprof/)\n", tool, addr)
+	}
+	if t.Progress > 0 {
+		rec.StartProgress(os.Stderr, t.Progress)
+	}
+	return rec, func() { rec.Close() }, nil
+}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"archexplorer/internal/mcpat"
+	"archexplorer/internal/obs"
 	"archexplorer/internal/uarch"
 )
 
@@ -68,8 +69,8 @@ func (a *ArchExplorer) Name() string { return "ArchExplorer" }
 // Run implements Explorer.
 func (a *ArchExplorer) Run(ev *Evaluator, budget int) error {
 	rng := rand.New(rand.NewSource(a.Seed))
-	for ev.Sims < float64(budget) {
-		if err := a.walk(ev, rng, budget); err != nil {
+	for walk := 1; ev.Sims < float64(budget); walk++ {
+		if err := a.walk(ev, rng, budget, walk); err != nil {
 			return err
 		}
 	}
@@ -81,7 +82,7 @@ func (a *ArchExplorer) Run(ev *Evaluator, budget int) error {
 // workload suffices to identify resource utilisation); the walk's best
 // designs are then re-evaluated at full fidelity, which is what enters the
 // reported exploration set.
-func (a *ArchExplorer) walk(ev *Evaluator, rng *rand.Rand, budget int) error {
+func (a *ArchExplorer) walk(ev *Evaluator, rng *rand.Rand, budget, walkIdx int) error {
 	probe := func(p uarch.Point) (*Evaluation, error) {
 		if a.NoProbe {
 			return ev.Evaluate(p, true)
@@ -153,11 +154,17 @@ func (a *ArchExplorer) walk(ev *Evaluator, rng *rand.Rand, budget int) error {
 	// parameters (e.g. BranchPred alternates global/local/BTB/RAS).
 	rot := map[uarch.Resource]int{}
 
+	// Telemetry bookkeeping: the resize decision of the current step, in
+	// deterministic (decision) order. Recording it costs two appends per
+	// step and never feeds back into the walk.
+	var grownNames, shrunkNames []string
+
 	e := e0
-	for ev.Sims < float64(budget) {
+	for step := 1; ev.Sims < float64(budget); step++ {
 		next := pt
 		changed := false
 		lastGrown = map[uarch.Resource]bool{}
+		grownNames, shrunkNames = grownNames[:0], shrunkNames[:0]
 
 		// Grow the top bottlenecks.
 		grownCnt := 0
@@ -178,14 +185,15 @@ func (a *ArchExplorer) walk(ev *Evaluator, rng *rand.Rand, budget int) error {
 			// Step size scales with how much of the runtime the
 			// bottleneck owns: severe bottlenecks jump several candidate
 			// levels at once so a walk converges in few probes.
-			step := 1 + int(e.Report.Contrib[res]/0.12)
+			delta := 1 + int(e.Report.Contrib[res]/0.12)
 			for i := 0; i < len(params); i++ {
 				p := params[(rot[res]+i)%len(params)]
-				if ev.Space.Step(&next, p, step) {
+				if ev.Space.Step(&next, p, delta) {
 					rot[res]++
 					changed = true
 					grownCnt++
 					lastGrown[res] = true
+					grownNames = append(grownNames, res.String())
 					break
 				}
 			}
@@ -214,6 +222,7 @@ func (a *ArchExplorer) walk(ev *Evaluator, rng *rand.Rand, budget int) error {
 					}
 					if ev.Space.Step(&next, p, -a.ShrinkStep) {
 						did = true
+						shrunkNames = append(shrunkNames, res.String())
 						break
 					}
 				}
@@ -239,6 +248,13 @@ func (a *ArchExplorer) walk(ev *Evaluator, rng *rand.Rand, budget int) error {
 		}
 		pt = next
 
+		// The report that drove this step's resize decision, captured
+		// before the probe result replaces it.
+		var decisionTop []obs.ResContrib
+		if ev.Obs != nil {
+			decisionTop = topContribs(e, 4)
+		}
+
 		e, err = probe(pt)
 		if err != nil {
 			return err
@@ -255,6 +271,18 @@ func (a *ArchExplorer) walk(ev *Evaluator, rng *rand.Rand, budget int) error {
 					frozen[res] = true
 				}
 			}
+		}
+		if ev.Obs != nil {
+			emitIter(ev, &obs.IterEvent{
+				Explorer: a.Name(),
+				Walk:     walkIdx,
+				Step:     step,
+				Top:      decisionTop,
+				Grown:    append([]string(nil), grownNames...),
+				Shrunk:   append([]string(nil), shrunkNames...),
+				Improved: improved,
+				BestIPC:  bestIPC,
+			})
 		}
 		if stale >= a.Patience {
 			return finish()

@@ -27,6 +27,7 @@ func (r *RandomSearch) Run(ev *Evaluator, budget int) error {
 		if _, err := ev.EvaluateBatch(pts, false); err != nil {
 			return err
 		}
+		emitPhase(ev, r.Name(), "sample", len(pts))
 	}
 	return nil
 }
@@ -92,6 +93,7 @@ func (a *AdaBoostDSE) Run(ev *Evaluator, budget int) error {
 			feats = append(feats, ev.Features(e.Point))
 			ys = append(ys, scoreOf(e))
 		}
+		emitPhase(ev, a.Name(), "train", len(pts))
 	}
 
 	model := mlkit.NewAdaBoostRT()
@@ -116,6 +118,7 @@ func (a *AdaBoostDSE) Run(ev *Evaluator, budget int) error {
 	if _, err := ev.EvaluateBatch(picked, false); err != nil {
 		return err
 	}
+	emitPhase(ev, a.Name(), "screen", len(picked))
 	return nil
 }
 
@@ -193,6 +196,7 @@ func (b *BOOMExplorer) Run(ev *Evaluator, budget int) error {
 	for _, e := range evals {
 		add(e)
 	}
+	emitPhase(ev, b.Name(), "init", len(picked))
 	if len(picked) < len(initPts) {
 		return nil // budget exhausted mid-initialisation
 	}
@@ -215,6 +219,7 @@ func (b *BOOMExplorer) Run(ev *Evaluator, budget int) error {
 			return err
 		}
 		add(e)
+		emitPhase(ev, b.Name(), "acquire", 1)
 	}
 	return nil
 }
@@ -273,6 +278,7 @@ func (a *ArchRankerDSE) Run(ev *Evaluator, budget int) error {
 		for _, e := range evals {
 			data = append(data, obs{f: ev.Features(e.Point), y: scoreOf(e)})
 		}
+		emitPhase(ev, a.Name(), "train", len(pts))
 	}
 
 	var better, worse [][]float64
@@ -306,5 +312,6 @@ func (a *ArchRankerDSE) Run(ev *Evaluator, budget int) error {
 	if _, err := ev.EvaluateBatch(picked, false); err != nil {
 		return err
 	}
+	emitPhase(ev, a.Name(), "screen", len(picked))
 	return nil
 }

@@ -13,6 +13,7 @@ import (
 	"archexplorer/internal/calipers"
 	"archexplorer/internal/deg"
 	"archexplorer/internal/mcpat"
+	"archexplorer/internal/obs"
 	"archexplorer/internal/ooo"
 	"archexplorer/internal/par"
 	"archexplorer/internal/pareto"
@@ -132,11 +133,24 @@ type Evaluator struct {
 	// History records every distinct evaluation in completion order.
 	History []*Evaluation
 
-	// mu guards cache, History, and Sims against the evaluator's own
-	// batch fan-out. The exported fields are still meant to be inspected
-	// from the goroutine driving the exploration loop.
+	// Obs, when non-nil, receives telemetry: cache and evaluation
+	// counters, the in-flight gauge, per-stage latency histograms, and —
+	// when a journal is attached — one EvalSpan per committed evaluation.
+	// Journal events are emitted exclusively from the commit phase, in
+	// commit order, so the event sequence is deterministic regardless of
+	// the worker fan-out; with Obs nil every result is byte-identical to
+	// an uninstrumented evaluator.
+	Obs *obs.Recorder
+
+	// mu guards cache, History, Sims, and obsSpans against the
+	// evaluator's own batch fan-out. The exported fields are still meant
+	// to be inspected from the goroutine driving the exploration loop.
 	mu    sync.Mutex
 	cache map[cacheKey]*Evaluation
+
+	// obsSpans remembers the journal span id of each cached entry so a
+	// DEG upgrade can reference the span it supersedes.
+	obsSpans map[cacheKey]int64
 }
 
 type cacheKey struct {
@@ -292,6 +306,17 @@ func (ev *Evaluator) batch(pts []uarch.Point, withDEG, probe bool) ([]*Evaluatio
 	}
 	ev.mu.Unlock()
 
+	// Cache accounting: every request slot that did not become a job's
+	// first occurrence was served from cache (or rides a duplicate).
+	ev.Obs.Counter(obs.MetricCacheHits).Add(int64(len(pts) - len(jobs)))
+	for _, j := range jobs {
+		if j.upgrade {
+			ev.Obs.Counter(obs.MetricCacheUpgrades).Inc()
+		} else {
+			ev.Obs.Counter(obs.MetricCacheMisses).Inc()
+		}
+	}
+
 	// Phase 2: compute misses — points × workloads fan out onto the
 	// compute-slot pool. Job goroutines are structural (they only wait),
 	// so they are not slot-bounded themselves.
@@ -311,7 +336,9 @@ func (ev *Evaluator) batch(pts []uarch.Point, withDEG, probe bool) ([]*Evaluatio
 
 	// Phase 3: commit in first-occurrence order — exactly the order a
 	// sequential loop would have finished them — assigning SimsAt and
-	// History position deterministically.
+	// History position deterministically. Telemetry is emitted here and
+	// only here (never from workers), so the journal's event order is the
+	// commit order and therefore reproducible run to run.
 	for _, j := range jobs {
 		if j.err != nil {
 			return nil, j.err
@@ -337,11 +364,60 @@ func (ev *Evaluator) batch(pts []uarch.Point, withDEG, probe bool) ([]*Evaluatio
 		}
 		ev.cache[j.key] = j.e
 		ev.mu.Unlock()
+		ev.obsCommit(j)
 		for _, i := range j.slots {
 			out[i] = j.e
 		}
 	}
 	return out, nil
+}
+
+// obsCommit records one committed job on the telemetry recorder: counters,
+// the budget gauge, and — when a journal is attached — the evaluation's
+// span. Runs on the committing goroutine, after the job left the critical
+// section; a nil recorder makes it a no-op.
+func (ev *Evaluator) obsCommit(j *job) {
+	rec := ev.Obs
+	if rec == nil {
+		return
+	}
+	e := j.e
+	if e.Probe {
+		rec.Counter(obs.MetricProbes).Inc()
+	} else {
+		rec.Counter(obs.MetricEvaluations).Inc()
+	}
+	rec.Gauge(obs.MetricBudgetSpent).Set(e.SimsAt)
+	if !rec.JournalEnabled() {
+		return
+	}
+	span := rec.NextSpan()
+	ev.mu.Lock()
+	if ev.obsSpans == nil {
+		ev.obsSpans = make(map[cacheKey]int64)
+	}
+	var replaces int64
+	if j.upgrade {
+		replaces = ev.obsSpans[j.key]
+	}
+	ev.obsSpans[j.key] = span
+	ev.mu.Unlock()
+	rec.Emit(&obs.EvalSpan{
+		Span:      span,
+		Replaces:  replaces,
+		Point:     append([]int(nil), e.Point[:]...),
+		Config:    e.Config.String(),
+		Probe:     e.Probe,
+		SimsAt:    e.SimsAt,
+		Perf:      e.PPA.Perf,
+		PowerW:    e.PPA.Power,
+		AreaMM2:   e.PPA.Area,
+		TraceNS:   e.Times.Trace.Nanoseconds(),
+		SimNS:     e.Times.Sim.Nanoseconds(),
+		PowerNS:   e.Times.Power.Nanoseconds(),
+		DEGNS:     e.Times.DEG.Nanoseconds(),
+		ElapsedNS: e.Elapsed.Nanoseconds(),
+	})
 }
 
 // leafGate returns the executor for CPU-bound per-workload tasks: the
@@ -415,6 +491,22 @@ func (ev *Evaluator) compute(j *job, probe bool, leaf func(func())) {
 // cycle-level core, power model, and (optionally) bottleneck analysis.
 func (ev *Evaluator) simWorkload(cfg uarch.Config, wl workload.Profile, traceLen int, withDEG, probe bool) wlResult {
 	var r wlResult
+	// Worker-phase telemetry: the in-flight gauge and latency histograms
+	// are unordered aggregates, so they may be updated here; journal
+	// events may not (they are commit-phase only).
+	if rec := ev.Obs; rec != nil {
+		rec.Gauge(obs.MetricSimsInFlight).Add(1)
+		defer func() {
+			rec.Gauge(obs.MetricSimsInFlight).Add(-1)
+			rec.Histogram(obs.MetricStageTrace).Observe(r.times.Trace.Seconds())
+			rec.Histogram(obs.MetricStageSim).Observe(r.times.Sim.Seconds())
+			rec.Histogram(obs.MetricStagePower).Observe(r.times.Power.Seconds())
+			if withDEG {
+				rec.Histogram(obs.MetricStageDEG).Observe(r.times.DEG.Seconds())
+			}
+		}()
+	}
+
 	t0 := time.Now()
 	stream, err := workload.CachedTrace(wl, traceLen)
 	r.times.Trace = time.Since(t0)

@@ -1,0 +1,56 @@
+package dse
+
+import (
+	"archexplorer/internal/obs"
+	"archexplorer/internal/pareto"
+)
+
+// runningHV is the hypervolume of everything explored so far against the
+// shared Table-4-space reference — the campaign's live progress signal.
+// It is only computed on telemetry paths; the exploration itself never
+// depends on it.
+func (ev *Evaluator) runningHV() float64 {
+	return pareto.Hypervolume(ev.PointsUpTo(ev.Sims), pareto.StandardReference)
+}
+
+// emitIter records one explorer decision step: counters and the running-
+// hypervolume gauge always, the journal event only when a journal is
+// attached. Must be called from the explorer's driving goroutine (the
+// commit-phase discipline that keeps journal order deterministic).
+func emitIter(ev *Evaluator, e *obs.IterEvent) {
+	rec := ev.Obs
+	if rec == nil {
+		return
+	}
+	rec.Counter(obs.MetricIterations).Inc()
+	hv := ev.runningHV()
+	rec.Gauge(obs.MetricHypervolume).Set(hv)
+	if !rec.JournalEnabled() {
+		return
+	}
+	e.Sims = ev.Sims
+	e.HV = hv
+	rec.Emit(e)
+}
+
+// emitPhase is the batch-level iteration event the ML baselines record:
+// which phase of the algorithm just ran and how many evaluations it spent.
+func emitPhase(ev *Evaluator, explorer, phase string, evals int) {
+	emitIter(ev, &obs.IterEvent{Explorer: explorer, Phase: phase, Evals: evals})
+}
+
+// topContribs summarises a bottleneck report's top contributors for an
+// iteration event (at most k entries, in contribution order).
+func topContribs(e *Evaluation, k int) []obs.ResContrib {
+	if e == nil || e.Report == nil {
+		return nil
+	}
+	var out []obs.ResContrib
+	for _, res := range e.Report.Top() {
+		if len(out) >= k {
+			break
+		}
+		out = append(out, obs.ResContrib{Res: res.String(), Contrib: e.Report.Contrib[res]})
+	}
+	return out
+}

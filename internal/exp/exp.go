@@ -9,8 +9,11 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync/atomic"
+	"time"
 
 	"archexplorer/internal/dse"
+	"archexplorer/internal/obs"
 	"archexplorer/internal/ooo"
 	"archexplorer/internal/par"
 	"archexplorer/internal/pipetrace"
@@ -36,6 +39,15 @@ type Options struct {
 	// simulation. Results are identical at any setting; only wall-clock
 	// changes.
 	Parallelism int
+	// Obs, when non-nil, receives telemetry from every evaluator the
+	// harness builds plus grid-progress events as campaign cells finish.
+	// Results are identical with or without it. Note that a grid fans
+	// multiple evaluators out concurrently, so a shared journal interleaves
+	// their (individually deterministic) event streams.
+	Obs *obs.Recorder
+	// Progress, when non-nil, receives a one-line note as each campaign
+	// grid cell completes (live visibility into multi-minute fan-outs).
+	Progress io.Writer
 	// Fast shrinks everything for smoke tests and benchmarks.
 	Fast bool
 }
@@ -104,11 +116,12 @@ func List() []Experiment {
 }
 
 // newEvaluator builds a standard-space evaluator wired with the options'
-// parallelism, so every experiment's evaluations share the same fan-out
-// policy.
+// parallelism and telemetry recorder, so every experiment's evaluations
+// share the same fan-out policy and observability sink.
 func newEvaluator(o Options, suite []workload.Profile) *dse.Evaluator {
 	ev := dse.NewEvaluator(uarch.StandardSpace(), suite, o.TraceLen)
 	ev.Parallelism = o.Parallelism
+	ev.Obs = o.Obs
 	return ev
 }
 
@@ -118,13 +131,18 @@ func newEvaluator(o Options, suite []workload.Profile) *dse.Evaluator {
 // exploration are what occupy the shared compute pool — so the grid itself
 // is unbounded. Slot collection keeps downstream reductions (curve
 // averaging, table rows) in the same deterministic order as the nested
-// sequential loops this replaces; errors surface lowest-index first.
-func exploreGrid(variants, seeds int, run func(variant int, seed int64) (*dse.Evaluator, error)) ([][]*dse.Evaluator, error) {
+// sequential loops this replaces; errors surface lowest-index first. As
+// cells finish, a progress line goes to o.Progress and a grid event to the
+// recorder (in completion order — progress is live telemetry, not part of
+// the deterministic accounting stream).
+func exploreGrid(o Options, variants, seeds int, run func(variant int, seed int64) (*dse.Evaluator, error)) ([][]*dse.Evaluator, error) {
 	out := make([][]*dse.Evaluator, variants)
 	for v := range out {
 		out[v] = make([]*dse.Evaluator, seeds)
 	}
 	n := variants * seeds
+	var done atomic.Int64
+	start := time.Now()
 	err := par.ForEach(n, n, func(i int) error {
 		v, s := i/seeds, i%seeds
 		ev, err := run(v, int64(s+1))
@@ -132,6 +150,15 @@ func exploreGrid(variants, seeds int, run func(variant int, seed int64) (*dse.Ev
 			return err
 		}
 		out[v][s] = ev
+		k := done.Add(1)
+		o.Obs.Counter(obs.MetricCampaignsDone).Inc()
+		o.Obs.Emit(&obs.GridProgress{
+			Variant: v, Seed: int64(s + 1), Done: int(k), Total: n, Sims: ev.Sims,
+		})
+		if o.Progress != nil {
+			fmt.Fprintf(o.Progress, "  progress: campaign %d/%d done (variant %d, seed %d, %.1f sims, %v elapsed)\n",
+				k, n, v, s+1, ev.Sims, time.Since(start).Round(time.Millisecond))
+		}
 		return nil
 	})
 	if err != nil {

@@ -42,7 +42,7 @@ func runCalipersDSE(o Options, w io.Writer) error {
 		{"new DEG (this paper)", false},
 		{"previous DEG", true},
 	}
-	grid, err := exploreGrid(len(variants), o.Seeds, func(vi int, seed int64) (*dse.Evaluator, error) {
+	grid, err := exploreGrid(o, len(variants), o.Seeds, func(vi int, seed int64) (*dse.Evaluator, error) {
 		ev := newEvaluator(o, suite)
 		ev.UseCalipers = variants[vi].useCalipers
 		if err := dse.NewArchExplorer(seed).Run(ev, o.Budget); err != nil {

@@ -47,8 +47,9 @@ func init() {
 }
 
 // hvReference is the fixed reference point v0 used by every DSE
-// comparison: dominated by any design of interest in this space.
-var hvReference = pareto.Reference{Perf: 0.01, Power: 1.5, Area: 25}
+// comparison — the shared pareto.StandardReference, so the harness, the
+// CLIs, and the telemetry journal all report comparable hypervolumes.
+var hvReference = pareto.StandardReference
 
 // methods instantiates the five explorers for a seed.
 func methods(seed int64) []dse.Explorer {
@@ -81,7 +82,7 @@ func runCampaign(o Options, suiteName string, w io.Writer) (map[string][]float64
 		budgets[i] = (i + 1) * o.Budget / nb
 	}
 
-	grid, err := exploreGrid(len(methodNames), o.Seeds, func(m int, seed int64) (*dse.Evaluator, error) {
+	grid, err := exploreGrid(o, len(methodNames), o.Seeds, func(m int, seed int64) (*dse.Evaluator, error) {
 		ev := newEvaluator(o, suite)
 		if err := methods(seed)[m].Run(ev, o.Budget); err != nil {
 			return nil, err
@@ -222,7 +223,7 @@ func runTable5(o Options, w io.Writer) error {
 			hv   []float64
 		}
 		traces := make(map[string]trace)
-		grid, err := exploreGrid(len(methodNames), o.Seeds, func(m int, seed int64) (*dse.Evaluator, error) {
+		grid, err := exploreGrid(o, len(methodNames), o.Seeds, func(m int, seed int64) (*dse.Evaluator, error) {
 			ev := newEvaluator(o, suite)
 			if err := methods(seed)[m].Run(ev, o.Budget); err != nil {
 				return nil, err

@@ -75,6 +75,13 @@ type Reference struct {
 	Area  float64 // upper bound on area
 }
 
+// StandardReference is the fixed reference point v0 shared by every DSE
+// comparison over the Table 4 design space: dominated by any design of
+// interest there. The experiment harness, the CLIs, and the telemetry
+// layer's running-hypervolume gauge all measure against it, so their
+// numbers are directly comparable.
+var StandardReference = Reference{Perf: 0.01, Power: 1.5, Area: 25}
+
 // DefaultReference returns a reference point dominated by all pts with a
 // small margin.
 func DefaultReference(pts []Point) Reference {

@@ -55,18 +55,47 @@ type EvaluationJSON struct {
 	Report  *ReportJSON  `json:"report,omitempty"`
 }
 
-// Campaign is a complete DSE run.
+// StageTimesJSON is the stable on-disk form of the evaluator's
+// per-stage worker-time totals (nanoseconds, so the round trip is
+// integral and exact).
+type StageTimesJSON struct {
+	TraceNS int64 `json:"trace_ns"`
+	SimNS   int64 `json:"sim_ns"`
+	PowerNS int64 `json:"power_ns"`
+	DEGNS   int64 `json:"deg_ns"`
+}
+
+// FromStageTimes converts evaluator stage totals.
+func FromStageTimes(st dse.StageTimes) StageTimesJSON {
+	return StageTimesJSON{
+		TraceNS: st.Trace.Nanoseconds(),
+		SimNS:   st.Sim.Nanoseconds(),
+		PowerNS: st.Power.Nanoseconds(),
+		DEGNS:   st.DEG.Nanoseconds(),
+	}
+}
+
+// Campaign is a complete DSE run. StageTimes and Journal are optional
+// (omitempty) so files written before they existed still load.
 type Campaign struct {
-	Method    string           `json:"method"`
-	Suite     string           `json:"suite"`
-	Budget    int              `json:"budget"`
-	SimsSpent float64          `json:"sims_spent"`
-	Designs   []EvaluationJSON `json:"designs"`
+	Method    string  `json:"method"`
+	Suite     string  `json:"suite"`
+	Budget    int     `json:"budget"`
+	SimsSpent float64 `json:"sims_spent"`
+	// StageTimes records where worker time went (trace/sim/power/DEG)
+	// for the run that produced this campaign.
+	StageTimes *StageTimesJSON `json:"stage_times,omitempty"`
+	// Journal is the path of the JSONL run journal written alongside
+	// this campaign, when the run had -journal set.
+	Journal string           `json:"journal,omitempty"`
+	Designs []EvaluationJSON `json:"designs"`
 }
 
 // FromEvaluator captures an evaluator's history after an explorer ran.
 func FromEvaluator(method, suite string, budget int, ev *dse.Evaluator) Campaign {
 	c := Campaign{Method: method, Suite: suite, Budget: budget, SimsSpent: ev.Sims}
+	st := FromStageTimes(ev.StageTotals())
+	c.StageTimes = &st
 	for _, e := range ev.History {
 		ej := EvaluationJSON{
 			Config:  e.Config,

@@ -2,6 +2,7 @@ package persist
 
 import (
 	"bytes"
+	"encoding/json"
 	"path/filepath"
 	"testing"
 
@@ -99,6 +100,85 @@ func TestValidateCatchesCorruption(t *testing.T) {
 	if err := ValidateCampaign(&c); err == nil {
 		t.Fatal("missing method not caught")
 	}
+}
+
+func TestStageTimesAndJournalRoundTrip(t *testing.T) {
+	ev, c := smallCampaign(t)
+	c.Journal = "run.jsonl"
+	if c.StageTimes == nil {
+		t.Fatal("FromEvaluator did not fill stage times")
+	}
+	if want := FromStageTimes(ev.StageTotals()); *c.StageTimes != want {
+		t.Fatalf("stage times %+v != evaluator totals %+v", *c.StageTimes, want)
+	}
+	if c.StageTimes.SimNS <= 0 {
+		t.Fatal("sim stage time not recorded")
+	}
+
+	var buf bytes.Buffer
+	if err := c.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.StageTimes == nil || *back.StageTimes != *c.StageTimes {
+		t.Fatalf("stage times drifted: %+v vs %+v", back.StageTimes, c.StageTimes)
+	}
+	if back.Journal != "run.jsonl" {
+		t.Fatalf("journal path drifted: %q", back.Journal)
+	}
+}
+
+// TestOldCampaignsStillLoad pins backwards compatibility: files written
+// before StageTimes/Journal existed have neither key and must load and
+// validate unchanged.
+func TestOldCampaignsStillLoad(t *testing.T) {
+	old := `{
+  "method": "ArchExplorer",
+  "suite": "SPEC06",
+  "budget": 12,
+  "sims_spent": 12,
+  "designs": [
+    {
+      "config": ` + mustJSON(t, uarch.Baseline()) + `,
+      "perf_ipc": 1.2,
+      "power_w": 0.8,
+      "area_mm2": 9.5,
+      "sims_at": 2
+    }
+  ]
+}`
+	back, err := Read(bytes.NewBufferString(old))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateCampaign(back); err != nil {
+		t.Fatal(err)
+	}
+	if back.StageTimes != nil || back.Journal != "" {
+		t.Fatalf("pre-telemetry campaign grew fields: %+v %q", back.StageTimes, back.Journal)
+	}
+	// And a modern campaign omits the keys when they are absent, so old
+	// readers with strict schemas keep working.
+	back.Designs = nil
+	var buf bytes.Buffer
+	if err := back.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("stage_times")) || bytes.Contains(buf.Bytes(), []byte("journal")) {
+		t.Fatalf("empty telemetry fields serialized: %s", buf.String())
+	}
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
 }
 
 func TestReadRejectsGarbage(t *testing.T) {
