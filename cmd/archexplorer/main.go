@@ -35,8 +35,12 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "concurrent simulations per evaluation (0 = all cores, 1 = sequential)")
 		out       = flag.String("out", "", "write the exploration campaign to this JSON file")
 		tele      cli.Telemetry
+		ckpt      cli.Checkpoint
+		resil     cli.Resilience
 	)
 	tele.AddTelemetryFlags(flag.CommandLine)
+	ckpt.AddCheckpointFlags(flag.CommandLine)
+	resil.AddResilienceFlags(flag.CommandLine)
 	flag.Parse()
 
 	var suite []workload.Profile
@@ -79,6 +83,11 @@ func main() {
 	ev := dse.NewEvaluator(uarch.StandardSpace(), suite, *traceLen)
 	ev.Parallelism = *parallel
 	ev.Obs = rec
+	resil.Apply(ev)
+	if err := ckpt.Wire(ev, ex.Name(), strings.ToUpper(*suiteName), *budget, *seed, rec); err != nil {
+		stopTelemetry()
+		cli.Fatal(err)
+	}
 	fmt.Printf("%s on %s (%d workloads), budget %d simulations\n",
 		ex.Name(), *suiteName, len(suite), *budget)
 	start := time.Now()
@@ -129,6 +138,7 @@ func main() {
 
 	if *out != "" {
 		c := persist.FromEvaluator(ex.Name(), *suiteName, *budget, ev)
+		c.Seed = *seed
 		c.Journal = tele.Journal
 		cli.Check(c.Save(*out))
 		fmt.Printf("campaign written to %s (%d designs)\n", *out, len(c.Designs))

@@ -16,6 +16,7 @@ import (
 
 	"archexplorer/internal/cli"
 	"archexplorer/internal/exp"
+	"archexplorer/internal/fault"
 	"archexplorer/internal/obs"
 )
 
@@ -30,9 +31,14 @@ func main() {
 		samples  = flag.Int("samples", 0, "design samples for fig1")
 		parallel = flag.Int("parallel", 0, "concurrent simulations per evaluation (0 = all cores, 1 = sequential)")
 		fast     = flag.Bool("fast", false, "shrink all experiments for a quick pass")
+		ckptDir  = flag.String("checkpoint-dir", "", "snapshot every campaign grid cell into this directory")
+		ckptInt  = flag.Duration("checkpoint-every", 30*time.Second, "minimum interval between per-cell snapshots; 0 snapshots every batch")
+		resume   = flag.Bool("resume", false, "resume grid cells from their -checkpoint-dir snapshots where present")
 		tele     cli.Telemetry
+		resil    cli.Resilience
 	)
 	tele.AddTelemetryFlags(flag.CommandLine)
+	resil.AddResilienceFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list || *run == "" {
@@ -50,14 +56,26 @@ func main() {
 	cli.Check(err)
 	defer stopTelemetry()
 
+	if *resume && *ckptDir == "" {
+		cli.Usagef("-resume requires -checkpoint-dir")
+	}
+	if *ckptDir != "" {
+		cli.Check(os.MkdirAll(*ckptDir, 0o755))
+	}
 	opts := exp.Options{
-		Budget:      *budget,
-		TraceLen:    *traceLen,
-		Seeds:       *seeds,
-		Samples:     *samples,
-		Parallelism: *parallel,
-		Obs:         rec,
-		Fast:        *fast,
+		Budget:          *budget,
+		TraceLen:        *traceLen,
+		Seeds:           *seeds,
+		Samples:         *samples,
+		Parallelism:     *parallel,
+		Obs:             rec,
+		Fast:            *fast,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptInt,
+		Resume:          *resume,
+		Retry:           fault.Retry{Max: resil.Retries, Base: resil.RetryBase, Cap: resil.RetryCap},
+		StageTimeout:    resil.StageTimeout,
+		SkipFailures:    resil.SkipFailures,
 	}
 	// Campaign grids are multi-minute; surface cell completions live
 	// whenever any telemetry is on.

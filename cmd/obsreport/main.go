@@ -1,8 +1,10 @@
 // Command obsreport post-processes a JSONL run journal (written by the
 // other binaries' -journal flag) into the run's story: where worker time
 // went per pipeline stage, how well the evaluation cache did, how
-// hypervolume grew as budget was spent, and which resources the
-// bottleneck analysis kept fingering iteration by iteration.
+// hypervolume grew as budget was spent, which resources the bottleneck
+// analysis kept fingering iteration by iteration, and — for runs that hit
+// trouble — the recovery timeline of retries, skips, checkpoints, and
+// resumes.
 //
 // Usage:
 //
@@ -14,6 +16,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"os"
 	"sort"
 	"strings"
 	"time"
@@ -39,29 +43,38 @@ func main() {
 	if len(events) == 0 {
 		cli.Fatalf("%s: empty journal", flag.Arg(0))
 	}
+	report(os.Stdout, events, *steps, *iters)
+}
 
+// report renders the whole journal story to w. Split from main so tests can
+// pin the output byte for byte.
+func report(w io.Writer, events []obs.Event, steps, iters int) {
 	var start *obs.RunStart
 	var end *obs.RunEnd
 	var iterEvents []*obs.IterEvent
 	var grids []*obs.GridProgress
-	spans := reduceSpans(events, &start, &end, &iterEvents, &grids)
+	var recovery []obs.Event
+	spans := reduceSpans(events, &start, &end, &iterEvents, &grids, &recovery)
 
-	printHeader(start, end, len(events))
-	printStages(spans)
-	printCache(end, spans)
-	printTrajectory(spans, start, end, *steps)
-	printIterations(iterEvents, *iters)
+	printHeader(w, start, end, len(events))
+	printStages(w, spans)
+	printCache(w, end)
+	printRecovery(w, recovery)
+	printTrajectory(w, spans, start, end, steps)
+	printIterations(w, iterEvents, iters)
 	if len(grids) > 0 {
 		last := grids[len(grids)-1]
-		fmt.Printf("campaign grid: %d/%d cells completed\n\n", last.Done, last.Total)
+		fmt.Fprintf(w, "campaign grid: %d/%d cells completed\n\n", last.Done, last.Total)
 	}
 }
 
 // reduceSpans mirrors the evaluator's in-place history upgrades: a span
 // that replaces another takes the superseded span's slot, so the result
-// is ordered exactly like Evaluator.History and sums to StageTotals.
+// is ordered exactly like Evaluator.History and sums to StageTotals. Fault,
+// checkpoint, and resume events are collected in journal order for the
+// recovery timeline.
 func reduceSpans(events []obs.Event, start **obs.RunStart, end **obs.RunEnd,
-	iters *[]*obs.IterEvent, grids *[]*obs.GridProgress) []*obs.EvalSpan {
+	iters *[]*obs.IterEvent, grids *[]*obs.GridProgress, recovery *[]obs.Event) []*obs.EvalSpan {
 	var out []*obs.EvalSpan
 	slot := map[int64]int{}
 	for _, e := range events {
@@ -76,6 +89,8 @@ func reduceSpans(events []obs.Event, start **obs.RunStart, end **obs.RunEnd,
 			*iters = append(*iters, v)
 		case *obs.GridProgress:
 			*grids = append(*grids, v)
+		case *obs.FaultEvent, *obs.CheckpointEvent, *obs.ResumeEvent:
+			*recovery = append(*recovery, v)
 		case *obs.EvalSpan:
 			if i, ok := slot[v.Replaces]; v.Replaces != 0 && ok {
 				delete(slot, v.Replaces)
@@ -90,38 +105,38 @@ func reduceSpans(events []obs.Event, start **obs.RunStart, end **obs.RunEnd,
 	return out
 }
 
-func printHeader(start *obs.RunStart, end *obs.RunEnd, n int) {
+func printHeader(w io.Writer, start *obs.RunStart, end *obs.RunEnd, n int) {
 	if start == nil {
-		fmt.Printf("journal: %d events (no run_start; partial journal?)\n\n", n)
+		fmt.Fprintf(w, "journal: %d events (no run_start; partial journal?)\n\n", n)
 		return
 	}
-	fmt.Printf("run: %s", start.Tool)
+	fmt.Fprintf(w, "run: %s", start.Tool)
 	if start.Method != "" {
-		fmt.Printf(" / %s", start.Method)
+		fmt.Fprintf(w, " / %s", start.Method)
 	}
 	if start.Suite != "" {
-		fmt.Printf(" on %s", start.Suite)
+		fmt.Fprintf(w, " on %s", start.Suite)
 	}
 	if start.Budget > 0 {
-		fmt.Printf(", budget %d", start.Budget)
+		fmt.Fprintf(w, ", budget %d", start.Budget)
 	}
 	if start.TraceLen > 0 {
-		fmt.Printf(", tracelen %d", start.TraceLen)
+		fmt.Fprintf(w, ", tracelen %d", start.TraceLen)
 	}
-	fmt.Printf(" (%d events)\n", n)
+	fmt.Fprintf(w, " (%d events)\n", n)
 	if end != nil {
-		fmt.Printf("outcome: %.1f sims in %v", end.Sims, time.Duration(end.ElapsedNS).Round(time.Millisecond))
+		fmt.Fprintf(w, "outcome: %.1f sims in %v", end.Sims, time.Duration(end.ElapsedNS).Round(time.Millisecond))
 		if end.HV != 0 {
-			fmt.Printf(", final hypervolume %.4f", end.HV)
+			fmt.Fprintf(w, ", final hypervolume %.4f", end.HV)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	} else {
-		fmt.Println("outcome: no run_end event — the run did not finish cleanly")
+		fmt.Fprintln(w, "outcome: no run_end event — the run did not finish cleanly")
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 }
 
-func printStages(spans []*obs.EvalSpan) {
+func printStages(w io.Writer, spans []*obs.EvalSpan) {
 	if len(spans) == 0 {
 		return
 	}
@@ -139,21 +154,21 @@ func printStages(spans []*obs.EvalSpan) {
 		}
 	}
 	total := trace + sim + power + deg
-	fmt.Printf("stage-time breakdown (%d full evaluations, %d probes):\n", evals, probes)
+	fmt.Fprintf(w, "stage-time breakdown (%d full evaluations, %d probes):\n", evals, probes)
 	pct := func(d time.Duration) float64 {
 		if total == 0 {
 			return 0
 		}
 		return 100 * float64(d) / float64(total)
 	}
-	fmt.Printf("  %-10s %12s %6.1f%%\n", "sim", sim.Round(time.Microsecond), pct(sim))
-	fmt.Printf("  %-10s %12s %6.1f%%\n", "analysis", deg.Round(time.Microsecond), pct(deg))
-	fmt.Printf("  %-10s %12s %6.1f%%\n", "power", power.Round(time.Microsecond), pct(power))
-	fmt.Printf("  %-10s %12s %6.1f%%\n", "traces", trace.Round(time.Microsecond), pct(trace))
-	fmt.Printf("  %-10s %12s\n\n", "total", total.Round(time.Microsecond))
+	fmt.Fprintf(w, "  %-10s %12s %6.1f%%\n", "sim", sim.Round(time.Microsecond), pct(sim))
+	fmt.Fprintf(w, "  %-10s %12s %6.1f%%\n", "analysis", deg.Round(time.Microsecond), pct(deg))
+	fmt.Fprintf(w, "  %-10s %12s %6.1f%%\n", "power", power.Round(time.Microsecond), pct(power))
+	fmt.Fprintf(w, "  %-10s %12s %6.1f%%\n", "traces", trace.Round(time.Microsecond), pct(trace))
+	fmt.Fprintf(w, "  %-10s %12s\n\n", "total", total.Round(time.Microsecond))
 }
 
-func printCache(end *obs.RunEnd, spans []*obs.EvalSpan) {
+func printCache(w io.Writer, end *obs.RunEnd) {
 	if end == nil || end.Metrics == nil {
 		return
 	}
@@ -163,12 +178,72 @@ func printCache(end *obs.RunEnd, spans []*obs.EvalSpan) {
 	if hits+misses == 0 {
 		return
 	}
-	fmt.Printf("evaluation cache: %.0f hits / %.0f lookups (%.1f%% hit rate), %.0f DEG upgrades\n\n",
+	fmt.Fprintf(w, "evaluation cache: %.0f hits / %.0f lookups (%.1f%% hit rate), %.0f DEG upgrades\n\n",
 		hits, hits+misses, 100*hits/(hits+misses), upgrades)
-	_ = spans
 }
 
-func printTrajectory(spans []*obs.EvalSpan, start *obs.RunStart, end *obs.RunEnd, steps int) {
+// printRecovery renders the fault-tolerance story: every retry, skip,
+// failed snapshot, checkpoint, and resume, in journal order, followed by a
+// one-line tally.
+func printRecovery(w io.Writer, recovery []obs.Event) {
+	if len(recovery) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "recovery timeline (%d events):\n", len(recovery))
+	var retries, timeouts, skips, ckptFails int
+	var checkpoints, resumes int
+	lastCkpt := ""
+	for _, e := range recovery {
+		switch v := e.(type) {
+		case *obs.ResumeEvent:
+			resumes++
+			fmt.Fprintf(w, "  resume      %d designs replayed from %s (%d skipped), %.1f sims already spent\n",
+				v.Designs, pathBase(v.Path), v.Skipped, v.Sims)
+		case *obs.CheckpointEvent:
+			// Checkpoints dominate a healthy journal; fold the run of them
+			// into the tally and print only the site changes.
+			checkpoints++
+			lastCkpt = fmt.Sprintf("%d designs, %.1f sims", v.Designs, v.Sims)
+		case *obs.FaultEvent:
+			switch v.Action {
+			case "retry":
+				retries++
+				if v.Class == "timeout" {
+					timeouts++
+				}
+				fmt.Fprintf(w, "  retry       %s %s on %s (attempt %d, backoff %v)\n",
+					v.Class, v.Site, v.Workload, v.Attempt, time.Duration(v.BackoffNS))
+			case "skip":
+				skips++
+				fmt.Fprintf(w, "  skip        %s failure at point %v: %s\n", v.Site, v.Point, v.Err)
+			case "checkpoint-failed":
+				ckptFails++
+				fmt.Fprintf(w, "  ckpt-failed %s\n", v.Err)
+			default:
+				fmt.Fprintf(w, "  %-11s %s %s\n", v.Action, v.Class, v.Site)
+			}
+		}
+	}
+	if checkpoints > 0 {
+		fmt.Fprintf(w, "  checkpoint  ×%d, last at %s\n", checkpoints, lastCkpt)
+	}
+	fmt.Fprintf(w, "recovered: %d retries (%d timeouts), %d designs skipped, %d checkpoints (%d failed), %d resumes\n\n",
+		retries, timeouts, skips, checkpoints, ckptFails, resumes)
+}
+
+// pathBase trims a checkpoint path to its final element so journals remain
+// comparable across machines and temp directories.
+func pathBase(p string) string {
+	if p == "" {
+		return "(unnamed)"
+	}
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}
+
+func printTrajectory(w io.Writer, spans []*obs.EvalSpan, start *obs.RunStart, end *obs.RunEnd, steps int) {
 	if len(spans) == 0 || steps <= 0 {
 		return
 	}
@@ -199,25 +274,25 @@ func printTrajectory(spans []*obs.EvalSpan, start *obs.RunStart, end *obs.RunEnd
 		}
 		return pareto.Hypervolume(pts, ref)
 	}
-	fmt.Printf("hypervolume vs budget (reference perf=%g power=%g area=%g):\n", ref.Perf, ref.Power, ref.Area)
-	fmt.Printf("  %10s %12s\n", "sims", "hypervolume")
+	fmt.Fprintf(w, "hypervolume vs budget (reference perf=%g power=%g area=%g):\n", ref.Perf, ref.Power, ref.Area)
+	fmt.Fprintf(w, "  %10s %12s\n", "sims", "hypervolume")
 	for i := 1; i <= steps; i++ {
 		b := budget * float64(i) / float64(steps)
-		fmt.Printf("  %10.1f %12.4f\n", b, hvAt(b))
+		fmt.Fprintf(w, "  %10.1f %12.4f\n", b, hvAt(b))
 	}
 	final := hvAt(budget)
-	fmt.Printf("  final (budget %.0f): %.4f", budget, final)
+	fmt.Fprintf(w, "  final (budget %.0f): %.4f", budget, final)
 	if end != nil && end.HV != 0 {
 		if d := final - end.HV; d < 1e-9 && d > -1e-9 {
-			fmt.Printf("  — matches the run's reported hypervolume")
+			fmt.Fprintf(w, "  — matches the run's reported hypervolume")
 		} else {
-			fmt.Printf("  — run reported %.4f (journal incomplete?)", end.HV)
+			fmt.Fprintf(w, "  — run reported %.4f (journal incomplete?)", end.HV)
 		}
 	}
-	fmt.Print("\n\n")
+	fmt.Fprint(w, "\n\n")
 }
 
-func printIterations(iters []*obs.IterEvent, limit int) {
+func printIterations(w io.Writer, iters []*obs.IterEvent, limit int) {
 	steps := iters[:0:0]
 	phases := map[string]int{}
 	topCount := map[string]int{}
@@ -237,11 +312,11 @@ func printIterations(iters []*obs.IterEvent, limit int) {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
-		fmt.Printf("explorer phases:")
+		fmt.Fprintf(w, "explorer phases:")
 		for _, k := range keys {
-			fmt.Printf("  %s ×%d", k, phases[k])
+			fmt.Fprintf(w, "  %s ×%d", k, phases[k])
 		}
-		fmt.Print("\n\n")
+		fmt.Fprint(w, "\n\n")
 	}
 	if len(steps) == 0 {
 		return
@@ -261,11 +336,11 @@ func printIterations(iters []*obs.IterEvent, limit int) {
 			}
 			return ranked[i].res < ranked[j].res
 		})
-		fmt.Printf("top bottleneck across %d iterations:", len(steps))
+		fmt.Fprintf(w, "top bottleneck across %d iterations:", len(steps))
 		for _, r := range ranked {
-			fmt.Printf("  %s ×%d", r.res, r.n)
+			fmt.Fprintf(w, "  %s ×%d", r.res, r.n)
 		}
-		fmt.Print("\n\n")
+		fmt.Fprint(w, "\n\n")
 	}
 	if limit == 0 {
 		return
@@ -274,21 +349,21 @@ func printIterations(iters []*obs.IterEvent, limit int) {
 	if limit > 0 && len(shown) > limit {
 		shown = shown[:limit]
 	}
-	fmt.Printf("iterations (%d of %d):\n", len(shown), len(steps))
-	fmt.Printf("  %-9s %8s %10s %6s  %-28s %s\n", "walk/step", "sims", "hv", "best", "top bottlenecks", "resize")
+	fmt.Fprintf(w, "iterations (%d of %d):\n", len(shown), len(steps))
+	fmt.Fprintf(w, "  %-9s %8s %10s %6s  %-28s %s\n", "walk/step", "sims", "hv", "best", "top bottlenecks", "resize")
 	for _, it := range shown {
 		var tops []string
 		for _, c := range it.Top {
 			tops = append(tops, fmt.Sprintf("%s %.2f", c.Res, c.Contrib))
 		}
 		resize := describeResize(it)
-		fmt.Printf("  %4d/%-4d %8.1f %10.4f %6.3f  %-28s %s\n",
+		fmt.Fprintf(w, "  %4d/%-4d %8.1f %10.4f %6.3f  %-28s %s\n",
 			it.Walk, it.Step, it.Sims, it.HV, it.BestIPC, strings.Join(tops, ", "), resize)
 	}
 	if len(shown) < len(steps) {
-		fmt.Printf("  … %d more (rerun with -iters -1)\n", len(steps)-len(shown))
+		fmt.Fprintf(w, "  … %d more (rerun with -iters -1)\n", len(steps)-len(shown))
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 }
 
 func describeResize(it *obs.IterEvent) string {

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"archexplorer/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestRecoveryReportGolden pins the rendered report — recovery timeline
+// included — for a journaled run that retried, timed out, skipped, lost a
+// snapshot, checkpointed, and resumed.
+func TestRecoveryReportGolden(t *testing.T) {
+	events, err := obs.LoadJournal(filepath.Join("testdata", "recovery.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	report(&buf, events, 4, 10)
+
+	golden := filepath.Join("testdata", "recovery.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (rerun with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("report drifted from golden file (rerun with -update to accept)\n--- got ---\n%s\n--- want ---\n%s",
+			buf.Bytes(), want)
+	}
+}
+
+// TestReportWithoutRecoveryEvents: a journal with no fault/checkpoint/
+// resume events renders no recovery section at all.
+func TestReportWithoutRecoveryEvents(t *testing.T) {
+	events := []obs.Event{
+		&obs.RunStart{Tool: "archexplorer", Budget: 4},
+		&obs.EvalSpan{Span: 1, SimsAt: 2, Perf: 1, PowerW: 1, AreaMM2: 10},
+		&obs.RunEnd{Tool: "archexplorer", Sims: 4},
+	}
+	var buf bytes.Buffer
+	report(&buf, events, 2, 0)
+	if bytes.Contains(buf.Bytes(), []byte("recovery timeline")) {
+		t.Fatalf("clean run grew a recovery section:\n%s", buf.String())
+	}
+}

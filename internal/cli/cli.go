@@ -10,7 +10,10 @@ import (
 	"os"
 	"time"
 
+	"archexplorer/internal/dse"
+	"archexplorer/internal/fault"
 	"archexplorer/internal/obs"
+	"archexplorer/internal/persist"
 )
 
 // tool is the program name prefixed to every error line. Set once by
@@ -101,4 +104,65 @@ func (t *Telemetry) Start() (*obs.Recorder, func(), error) {
 		rec.StartProgress(os.Stderr, t.Progress)
 	}
 	return rec, func() { rec.Close() }, nil
+}
+
+// Checkpoint is the shared crash-safety flag set: where to snapshot the
+// campaign, how often, and whether to resume a previous run's snapshot.
+type Checkpoint struct {
+	// Path is the checkpoint file (-checkpoint); empty disables snapshots.
+	Path string
+	// Every is the minimum interval between snapshots (-checkpoint-every);
+	// 0 snapshots after every committed evaluation batch.
+	Every time.Duration
+	// Resume restores the evaluator from Path before exploring (-resume).
+	Resume bool
+}
+
+// AddCheckpointFlags registers the checkpoint flags on fs.
+func (c *Checkpoint) AddCheckpointFlags(fs *flag.FlagSet) {
+	fs.StringVar(&c.Path, "checkpoint", "", "snapshot the campaign to this file after evaluation batches (atomic rename)")
+	fs.DurationVar(&c.Every, "checkpoint-every", 30*time.Second, "minimum interval between checkpoint snapshots; 0 snapshots every batch")
+	fs.BoolVar(&c.Resume, "resume", false, "resume the campaign from -checkpoint if the file exists (replays completed evaluations)")
+}
+
+// Wire attaches checkpoint/resume behaviour to the evaluator under the
+// campaign identity (method, suite, budget, seed) the snapshot is keyed by.
+// Call it after the resilience flags were applied and before the explorer
+// runs. With -resume and no existing file the run simply starts fresh.
+func (c *Checkpoint) Wire(ev *dse.Evaluator, method, suite string, budget int, seed int64, rec *obs.Recorder) error {
+	if c.Resume && c.Path == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
+	return persist.AttachCheckpoint(ev, persist.CheckpointOptions{
+		Path: c.Path, Every: c.Every, Resume: c.Resume,
+		Method: method, Suite: suite, Budget: budget, Seed: seed,
+		Faults: ev.Faults, Retry: ev.Retry, Obs: rec,
+	})
+}
+
+// Resilience is the shared fault-tolerance flag set: the retry policy for
+// transient evaluation failures, the per-stage timeout, and whether
+// permanent failures abort the campaign or degrade to journaled skips.
+type Resilience struct {
+	Retries      int
+	RetryBase    time.Duration
+	RetryCap     time.Duration
+	StageTimeout time.Duration
+	SkipFailures bool
+}
+
+// AddResilienceFlags registers the resilience flags on fs.
+func (r *Resilience) AddResilienceFlags(fs *flag.FlagSet) {
+	fs.IntVar(&r.Retries, "retries", fault.DefaultRetry.Max, "retries per evaluation stage for transient failures; 0 disables retrying")
+	fs.DurationVar(&r.RetryBase, "retry-base", fault.DefaultRetry.Base, "first retry backoff (doubles per attempt)")
+	fs.DurationVar(&r.RetryCap, "retry-cap", fault.DefaultRetry.Cap, "upper bound on the retry backoff")
+	fs.DurationVar(&r.StageTimeout, "stage-timeout", 0, "abandon and retry an evaluation stage after this long; 0 disables")
+	fs.BoolVar(&r.SkipFailures, "skip-failures", false, "degrade permanently failed evaluations to journaled skips instead of aborting")
+}
+
+// Apply installs the policy on the evaluator.
+func (r *Resilience) Apply(ev *dse.Evaluator) {
+	ev.Retry = fault.Retry{Max: r.Retries, Base: r.RetryBase, Cap: r.RetryCap}
+	ev.StageTimeout = r.StageTimeout
+	ev.SkipFailures = r.SkipFailures
 }

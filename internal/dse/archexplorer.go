@@ -120,10 +120,19 @@ func (a *ArchExplorer) walk(ev *Evaluator, rng *rand.Rand, budget, walkIdx int) 
 			return err
 		}
 		for i, ec := range ecs {
+			if ec.Failed {
+				continue
+			}
 			if ec.Tradeoff() > e0.Tradeoff() {
 				pt, e0 = cands[i], ec
 			}
 		}
+	}
+	if e0.Failed {
+		// Every screened start failed (degraded-skip mode): abandon the
+		// walk — the failed probes still charged budget, so the outer loop
+		// advances to a fresh envelope.
+		return nil
 	}
 	envArea := e0.PPA.Area * (1 + a.EnvelopeSlack)
 	envPower := e0.PPA.Power * (1 + a.EnvelopeSlack)
@@ -258,6 +267,12 @@ func (a *ArchExplorer) walk(ev *Evaluator, rng *rand.Rand, budget, walkIdx int) 
 		e, err = probe(pt)
 		if err != nil {
 			return err
+		}
+		if e.Failed {
+			// The probe for this step was degraded to a skip; without a
+			// bottleneck report the walk cannot continue, so its best
+			// designs are harvested and the explorer restarts.
+			return finish()
 		}
 		improved := e.PPA.Perf > bestIPC*1.002 && e.PPA.Power <= envPower
 		if improved {

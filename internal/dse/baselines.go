@@ -90,6 +90,9 @@ func (a *AdaBoostDSE) Run(ev *Evaluator, budget int) error {
 			return err
 		}
 		for _, e := range evals {
+			if e.Failed {
+				continue // degraded skips carry no usable training signal
+			}
 			feats = append(feats, ev.Features(e.Point))
 			ys = append(ys, scoreOf(e))
 		}
@@ -177,6 +180,9 @@ func (b *BOOMExplorer) Run(ev *Evaluator, budget int) error {
 	var ys []float64
 	bestY := -1.0
 	add := func(e *Evaluation) {
+		if e.Failed {
+			return // degraded skips carry no usable training signal
+		}
 		feats = append(feats, ev.Features(e.Point))
 		y := scoreOf(e)
 		ys = append(ys, y)
@@ -276,6 +282,9 @@ func (a *ArchRankerDSE) Run(ev *Evaluator, budget int) error {
 			return err
 		}
 		for _, e := range evals {
+			if e.Failed {
+				continue // degraded skips carry no usable training signal
+			}
 			data = append(data, obs{f: ev.Features(e.Point), y: scoreOf(e)})
 		}
 		emitPhase(ev, a.Name(), "train", len(pts))

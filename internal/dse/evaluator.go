@@ -12,6 +12,8 @@ import (
 
 	"archexplorer/internal/calipers"
 	"archexplorer/internal/deg"
+	"archexplorer/internal/fault"
+	"archexplorer/internal/isa"
 	"archexplorer/internal/mcpat"
 	"archexplorer/internal/obs"
 	"archexplorer/internal/ooo"
@@ -74,10 +76,23 @@ type Evaluation struct {
 	// is deterministic.
 	Times   StageTimes
 	Elapsed time.Duration
+
+	// Failed marks an evaluation that failed permanently and was degraded
+	// to a journaled skip (SkipFailures mode, or a failure replayed from a
+	// checkpoint). Its PPA is zero and it never joins Pareto reductions,
+	// but it occupies its History slot and its budget charge so that a
+	// resumed campaign replays failures exactly where they happened.
+	Failed     bool
+	FailSite   string
+	FailReason string
 }
 
-// Tradeoff is the paper's scalar PPA metric Perf²/(Power·Area).
+// Tradeoff is the paper's scalar PPA metric Perf²/(Power·Area). A failed
+// evaluation trades off at zero (its PPA is unusable, not merely poor).
 func (e *Evaluation) Tradeoff() float64 {
+	if e.Failed {
+		return 0
+	}
 	return mcpat.PPA(e.PPA.Perf, e.PPA.Power, e.PPA.Area)
 }
 
@@ -141,6 +156,35 @@ type Evaluator struct {
 	// the worker fan-out; with Obs nil every result is byte-identical to
 	// an uninstrumented evaluator.
 	Obs *obs.Recorder
+
+	// Faults is the injected failure plan driving the fault-tolerance test
+	// harness; nil (the default) injects nothing. Each pipeline stage
+	// consults its named site before running.
+	Faults *fault.Plan
+
+	// Retry is the capped-exponential-backoff policy applied to transient
+	// stage failures (including timeouts). The zero value retries nothing:
+	// a transient failure then surfaces like a permanent one.
+	Retry fault.Retry
+
+	// StageTimeout bounds each stage attempt; an attempt that exceeds it is
+	// abandoned and retried as a transient failure. 0 disables the bound.
+	StageTimeout time.Duration
+
+	// SkipFailures degrades a permanently failed evaluation to a journaled
+	// skip — it enters History marked Failed, charged its full suite cost —
+	// instead of aborting the campaign. Kill-class faults always abort.
+	SkipFailures bool
+
+	// Checkpoint, when non-nil, is invoked after every batch that committed
+	// at least one evaluation, on the committing goroutine. The persist
+	// package wires it to an atomic campaign snapshot.
+	Checkpoint func()
+
+	// restored is the replay store for checkpoint resume (see resume.go):
+	// committed outcomes from a previous incarnation of this campaign,
+	// served instead of simulating so the re-run retraces the original.
+	restored map[cacheKey]*RestoredResult
 
 	// mu guards cache, History, Sims, and obsSpans against the
 	// evaluator's own batch fan-out. The exported fields are still meant
@@ -274,6 +318,9 @@ type job struct {
 	slots   []int // indices into the batch output
 	e       *Evaluation
 	err     error
+	// faults are the retry/timeout records collected by this job's workers,
+	// flattened in suite order by reduce and journaled at commit.
+	faults []obs.FaultEvent
 }
 
 // batch implements Evaluate/Probe/EvaluateBatch/ProbeBatch: resolve cache
@@ -291,7 +338,9 @@ func (ev *Evaluator) batch(pts []uarch.Point, withDEG, probe bool) ([]*Evaluatio
 	byKey := make(map[cacheKey]*job)
 	for i, pt := range pts {
 		key := cacheKey{pt: pt, probe: probe}
-		if e, ok := ev.cache[key]; ok && (!withDEG || e.Report != nil) {
+		// Failed entries are sticky: a design that failed permanently is
+		// never re-attempted, whatever fidelity is requested.
+		if e, ok := ev.cache[key]; ok && (e.Failed || !withDEG || e.Report != nil) {
 			out[i] = e
 			continue
 		}
@@ -339,8 +388,9 @@ func (ev *Evaluator) batch(pts []uarch.Point, withDEG, probe bool) ([]*Evaluatio
 	// History position deterministically. Telemetry is emitted here and
 	// only here (never from workers), so the journal's event order is the
 	// commit order and therefore reproducible run to run.
+	committed := false
 	for _, j := range jobs {
-		if j.err != nil {
+		if j.err != nil && (fault.IsKill(j.err) || !ev.SkipFailures) {
 			return nil, j.err
 		}
 		var charge float64
@@ -348,10 +398,24 @@ func (ev *Evaluator) batch(pts []uarch.Point, withDEG, probe bool) ([]*Evaluatio
 			_, cost := ev.planCost(probe)
 			charge = cost * float64(len(ev.Workloads))
 		}
+		if j.err != nil {
+			// Permanent failure degraded to a journaled skip: a Failed
+			// placeholder takes the evaluation's History slot and budget
+			// charge, so a resumed campaign replays the skip in place.
+			j.e = &Evaluation{
+				Point: j.key.pt, Config: ev.Space.Decode(j.key.pt), Probe: probe,
+				Failed: true, FailSite: failSite(j.err), FailReason: j.err.Error(),
+			}
+		}
 		ev.mu.Lock()
 		ev.Sims += charge
 		j.e.SimsAt = ev.Sims
-		if j.upgrade {
+		switch {
+		case j.upgrade && j.e.Failed:
+			// A failed DEG upgrade keeps the paid-for plain entry in the
+			// cache and History; the failure is served to this batch's
+			// request slots only.
+		case j.upgrade:
 			// Upgrade the cached entry in place (adds the report).
 			for i, old := range ev.History {
 				if old.Point == j.key.pt && old.Probe == j.key.probe {
@@ -359,15 +423,20 @@ func (ev *Evaluator) batch(pts []uarch.Point, withDEG, probe bool) ([]*Evaluatio
 					break
 				}
 			}
-		} else {
+			ev.cache[j.key] = j.e
+		default:
 			ev.History = append(ev.History, j.e)
+			ev.cache[j.key] = j.e
 		}
-		ev.cache[j.key] = j.e
 		ev.mu.Unlock()
 		ev.obsCommit(j)
 		for _, i := range j.slots {
 			out[i] = j.e
 		}
+		committed = true
+	}
+	if committed && ev.Checkpoint != nil {
+		ev.Checkpoint()
 	}
 	return out, nil
 }
@@ -382,13 +451,30 @@ func (ev *Evaluator) obsCommit(j *job) {
 		return
 	}
 	e := j.e
-	if e.Probe {
+	switch {
+	case e.Failed:
+		rec.Counter(obs.MetricEvalSkips).Inc()
+	case e.Probe:
 		rec.Counter(obs.MetricProbes).Inc()
-	} else {
+	default:
 		rec.Counter(obs.MetricEvaluations).Inc()
 	}
 	rec.Gauge(obs.MetricBudgetSpent).Set(e.SimsAt)
 	if !rec.JournalEnabled() {
+		return
+	}
+	// Worker-collected retry/timeout records land in the journal here, in
+	// suite order, stamped with the design point they belong to.
+	for i := range j.faults {
+		f := j.faults[i] // copy: Emit assigns the Head in place
+		f.Point = append([]int(nil), e.Point[:]...)
+		rec.Emit(&f)
+	}
+	if e.Failed {
+		rec.Emit(&obs.FaultEvent{
+			Site: e.FailSite, Class: fault.Permanent.String(), Action: "skip",
+			Point: append([]int(nil), e.Point[:]...), Err: e.FailReason,
+		})
 		return
 	}
 	span := rec.NextSpan()
@@ -445,11 +531,17 @@ type wlResult struct {
 	rep            *deg.Report
 	times          StageTimes
 	err            error
+	// faults are the slot's retry/timeout records, in occurrence order.
+	faults []obs.FaultEvent
 }
 
 // compute runs one job: simulate every workload (concurrently when leaf is
-// non-nil), then reduce the per-workload slots in suite order.
+// non-nil), then reduce the per-workload slots in suite order. A job whose
+// outcome is in the checkpoint replay store skips simulation entirely.
 func (ev *Evaluator) compute(j *job, probe bool, leaf func(func())) {
+	if ev.serveRestored(j, probe) {
+		return
+	}
 	start := time.Now()
 	cfg := ev.Space.Decode(j.key.pt)
 	if err := cfg.Validate(); err != nil {
@@ -487,10 +579,23 @@ func (ev *Evaluator) compute(j *job, probe bool, leaf func(func())) {
 	}
 }
 
+// simOutcome bundles the simulate stage's products so the stage closure can
+// return them as one fresh value (see runStage's self-containment rule).
+type simOutcome struct {
+	tr    *pipetrace.Trace
+	stats *ooo.Stats
+}
+
 // simWorkload runs one (config, workload) simulation end to end: trace,
-// cycle-level core, power model, and (optionally) bottleneck analysis.
-func (ev *Evaluator) simWorkload(cfg uarch.Config, wl workload.Profile, traceLen int, withDEG, probe bool) wlResult {
-	var r wlResult
+// cycle-level core, power model, and (optionally) bottleneck analysis. Each
+// stage runs under the evaluator's resilience policy — fault injection,
+// timeout bounding, transient retries — via runStage; the stage closures
+// only read their inputs and return fresh values, so an abandoned (timed
+// out) attempt cannot race a retry.
+func (ev *Evaluator) simWorkload(cfg uarch.Config, wl workload.Profile, traceLen int, withDEG, probe bool) (r wlResult) {
+	sr := &stageRunner{ev: ev, workload: wl.Name}
+	// r is a named result so this runs after any return statement's copy.
+	defer func() { r.faults = sr.recs }()
 	// Worker-phase telemetry: the in-flight gauge and latency histograms
 	// are unordered aggregates, so they may be updated here; journal
 	// events may not (they are commit-phase only).
@@ -508,31 +613,41 @@ func (ev *Evaluator) simWorkload(cfg uarch.Config, wl workload.Profile, traceLen
 	}
 
 	t0 := time.Now()
-	stream, err := workload.CachedTrace(wl, traceLen)
+	stream, err := runStage(sr, fault.SiteTrace, func() ([]isa.Inst, error) {
+		return workload.CachedTrace(wl, traceLen)
+	})
 	r.times.Trace = time.Since(t0)
 	if err != nil {
 		r.err = err
 		return r
 	}
-	core, err := ooo.New(cfg)
+
+	t0 = time.Now()
+	sim, err := runStage(sr, fault.SiteSim, func() (simOutcome, error) {
+		core, err := ooo.New(cfg)
+		if err != nil {
+			return simOutcome{}, err
+		}
+		tr, stats, err := core.Run(stream)
+		if err != nil {
+			return simOutcome{}, fmt.Errorf("dse: %s on %s: %w", wl.Name, cfg, err)
+		}
+		if len(tr.Records) == 0 {
+			return simOutcome{}, fmt.Errorf("dse: %s on %s: simulation committed no instructions", wl.Name, cfg)
+		}
+		return simOutcome{tr: tr, stats: stats}, nil
+	})
+	r.times.Sim = time.Since(t0)
 	if err != nil {
 		r.err = err
 		return r
 	}
-	t0 = time.Now()
-	tr, stats, err := core.Run(stream)
-	r.times.Sim = time.Since(t0)
-	if err != nil {
-		r.err = fmt.Errorf("dse: %s on %s: %w", wl.Name, cfg, err)
-		return r
-	}
-	if len(tr.Records) == 0 {
-		r.err = fmt.Errorf("dse: %s on %s: simulation committed no instructions", wl.Name, cfg)
-		return r
-	}
+	tr, stats := sim.tr, sim.stats
 
 	t0 = time.Now()
-	pw, err := mcpat.Evaluate(cfg, stats)
+	pw, err := runStage(sr, fault.SitePower, func() (mcpat.Result, error) {
+		return mcpat.Evaluate(cfg, stats)
+	})
 	r.times.Power = time.Since(t0)
 	if err != nil {
 		r.err = err
@@ -549,12 +664,13 @@ func (ev *Evaluator) simWorkload(cfg uarch.Config, wl workload.Profile, traceLen
 
 	if withDEG {
 		t0 = time.Now()
-		var rep *deg.Report
-		if ev.UseCalipers {
-			rep, err = calipersReport(tr, cfg)
-		} else {
-			rep, _, _, err = deg.Analyze(tr, deg.Options{})
-		}
+		rep, err := runStage(sr, fault.SiteDEG, func() (*deg.Report, error) {
+			if ev.UseCalipers {
+				return calipersReport(tr, cfg)
+			}
+			rep, _, _, err := deg.Analyze(tr, deg.Options{})
+			return rep, err
+		})
 		r.times.DEG = time.Since(t0)
 		if err != nil {
 			r.err = err
@@ -589,6 +705,11 @@ func warmWindowIPC(tr *pipetrace.Trace) (float64, bool) {
 // making the result independent of the order workers finished in. A failed
 // workload surfaces the lowest-index error, again deterministically.
 func (ev *Evaluator) reduce(j *job, probe bool, cfg uarch.Config, outs []wlResult) (*Evaluation, error) {
+	// Fault records flatten in suite order first — retries that preceded a
+	// failure are real events and must reach the journal either way.
+	for k := range outs {
+		j.faults = append(j.faults, outs[k].faults...)
+	}
 	for k := range outs {
 		if outs[k].err != nil {
 			return nil, outs[k].err
@@ -651,7 +772,7 @@ func (ev *Evaluator) StageTotals() StageTimes {
 func (ev *Evaluator) Points() []pareto.Point {
 	var out []pareto.Point
 	for _, e := range ev.History {
-		if e.Probe {
+		if e.Probe || e.Failed {
 			continue
 		}
 		out = append(out, e.PPA)
@@ -688,7 +809,7 @@ type Explorer interface {
 func (ev *Evaluator) PointsUpTo(budget float64) []pareto.Point {
 	var out []pareto.Point
 	for _, e := range ev.History {
-		if e.SimsAt > budget {
+		if e.SimsAt > budget || e.Failed {
 			continue
 		}
 		out = append(out, e.PPA)

@@ -1,0 +1,108 @@
+package dse
+
+import (
+	"errors"
+	"time"
+
+	"archexplorer/internal/fault"
+	"archexplorer/internal/obs"
+)
+
+// failSite names the pipeline stage a failed evaluation died at, when the
+// error carries one (injected faults and timeouts do; organic simulator
+// errors do not).
+func failSite(err error) string {
+	var fe *fault.Error
+	if errors.As(err, &fe) {
+		return fe.Site
+	}
+	var te *fault.TimeoutError
+	if errors.As(err, &te) {
+		return te.Site
+	}
+	return ""
+}
+
+// stageRunner carries one (config, workload) run's failure handling: it
+// consults the evaluator's injected fault plan at each stage site, bounds
+// each attempt by the stage timeout, retries transient failures under the
+// capped-backoff policy, and collects the fault records that the commit
+// phase will journal in deterministic order. Each workload slot owns its
+// runner, so records never race across workers.
+type stageRunner struct {
+	ev       *Evaluator
+	workload string
+	recs     []obs.FaultEvent
+}
+
+// runStage executes one pipeline stage with fault injection, timeout, and
+// transient-failure retries. fn must be self-contained: a timed-out
+// attempt's goroutine is abandoned and may still be running, so fn only
+// reads its inputs and returns fresh values (it never writes captured
+// state).
+func runStage[T any](sr *stageRunner, site string, fn func() (T, error)) (T, error) {
+	var zero T
+	for attempt := 1; ; attempt++ {
+		v, err := attemptStage(sr, site, fn)
+		if err == nil {
+			return v, nil
+		}
+		if !fault.IsTransient(err) {
+			return zero, err // permanent failures and kills surface immediately
+		}
+		backoff := sr.ev.Retry.Backoff(attempt)
+		if backoff < 0 {
+			return zero, err // retries exhausted: the transient failure is terminal
+		}
+		class := fault.Transient.String()
+		if _, ok := err.(*fault.TimeoutError); ok {
+			class = "timeout"
+		}
+		sr.recs = append(sr.recs, obs.FaultEvent{
+			Site: site, Class: class, Action: "retry", Attempt: attempt,
+			Workload: sr.workload, Err: err.Error(), BackoffNS: backoff.Nanoseconds(),
+		})
+		sr.ev.Obs.Counter(obs.MetricRetries).Inc()
+		if backoff > 0 {
+			time.Sleep(backoff)
+		}
+	}
+}
+
+// attemptStage runs one attempt: the injected fault (if scheduled) fires
+// first, standing in for the stage crashing; otherwise fn runs, bounded by
+// the evaluator's stage timeout. A timed-out attempt returns a transient
+// TimeoutError and abandons the attempt goroutine to finish in the
+// background — its result is discarded via the buffered channel.
+func attemptStage[T any](sr *stageRunner, site string, fn func() (T, error)) (T, error) {
+	work := func() (T, error) {
+		if err := sr.ev.Faults.Hit(site); err != nil {
+			var zero T
+			return zero, err
+		}
+		return fn()
+	}
+	timeout := sr.ev.StageTimeout
+	if timeout <= 0 {
+		return work()
+	}
+	type result struct {
+		v   T
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		v, err := work()
+		done <- result{v, err}
+	}()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case r := <-done:
+		return r.v, r.err
+	case <-timer.C:
+		sr.ev.Obs.Counter(obs.MetricTimeouts).Inc()
+		var zero T
+		return zero, &fault.TimeoutError{Site: site, After: timeout}
+	}
+}

@@ -1,0 +1,101 @@
+package dse
+
+import (
+	"fmt"
+
+	"archexplorer/internal/deg"
+	"archexplorer/internal/pareto"
+	"archexplorer/internal/uarch"
+)
+
+// Resume is replay-based: a checkpoint stores every committed evaluation
+// (including failed ones), and the resumed process re-runs its explorer
+// from the same seed against a fresh evaluator primed with that prefix.
+// Explorer decisions are deterministic functions of evaluation results, so
+// the replayed trajectory retraces the original one step for step; each
+// replayed request is served from the restored store instead of the
+// simulator — while still charging budget, appending to History, assigning
+// SimsAt, and emitting journal events exactly as a live evaluation would.
+// When the replay walks off the end of the stored prefix, live simulation
+// takes over seamlessly. The net effect restores the rng state, budget
+// position, and explorer position without serialising any of them, and
+// makes a resumed campaign byte-identical (modulo wall-clock timings) to
+// one that never crashed.
+
+// RestoredResult is one checkpointed evaluation outcome fed back into a
+// fresh evaluator for replay-based resume.
+type RestoredResult struct {
+	Point          uarch.Point
+	Probe          bool
+	PPA            pareto.Point
+	PerWorkloadIPC []float64
+	// Report is the merged bottleneck report, when the evaluation had one.
+	Report *deg.Report
+	// Times is the original run's worker time for this evaluation, so the
+	// resumed campaign's stage totals still account the whole logical run.
+	Times StageTimes
+	// Failed marks a permanently failed evaluation that was degraded to a
+	// journaled skip; replay reproduces the skip without re-attempting it.
+	Failed     bool
+	FailSite   string
+	FailReason string
+}
+
+// Restore primes a fresh evaluator with a checkpointed prefix. It must run
+// before any evaluation; restoring onto a used evaluator is an error.
+func (ev *Evaluator) Restore(results []RestoredResult) error {
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	if len(ev.History) > 0 || ev.Sims != 0 {
+		return fmt.Errorf("dse: Restore on a used evaluator (%d evaluations, %.1f sims)",
+			len(ev.History), ev.Sims)
+	}
+	ev.restored = make(map[cacheKey]*RestoredResult, len(results))
+	for i := range results {
+		r := &results[i]
+		// Later entries win: a DEG upgrade replaced its plain predecessor
+		// in the history the checkpoint captured.
+		ev.restored[cacheKey{pt: r.Point, probe: r.Probe}] = r
+	}
+	return nil
+}
+
+// serveRestored satisfies a job from the restored prefix store, if it can:
+// the stored outcome is materialised as a fresh Evaluation and the job
+// skips simulation entirely. Commit-phase accounting (budget charge,
+// History position, SimsAt, journal events) still happens, which is what
+// makes replay indistinguishable from the original execution. Returns
+// false when the store has no usable entry (fresh territory, or a report
+// was requested that the store lacks) — the job then computes live.
+func (ev *Evaluator) serveRestored(j *job, probe bool) bool {
+	ev.mu.Lock()
+	r, ok := ev.restored[j.key]
+	ev.mu.Unlock()
+	if !ok {
+		return false
+	}
+	if r.Failed {
+		j.e = &Evaluation{
+			Point: j.key.pt, Config: ev.Space.Decode(j.key.pt), Probe: probe,
+			Failed: true, FailSite: r.FailSite, FailReason: r.FailReason,
+		}
+		return true
+	}
+	if j.withDEG && r.Report == nil {
+		return false
+	}
+	e := &Evaluation{
+		Point: j.key.pt, Config: ev.Space.Decode(j.key.pt), Probe: probe,
+		PPA:            r.PPA,
+		PerWorkloadIPC: append([]float64(nil), r.PerWorkloadIPC...),
+		Times:          r.Times,
+	}
+	// The report is attached only when this request asked for it, exactly
+	// like a live computation — so a later withDEG request still follows
+	// the upgrade path, reassigning SimsAt the way the original run did.
+	if j.withDEG {
+		e.Report = r.Report
+	}
+	j.e = e
+	return true
+}

@@ -8,14 +8,18 @@ package exp
 import (
 	"fmt"
 	"io"
+	"path/filepath"
 	"sort"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"archexplorer/internal/dse"
+	"archexplorer/internal/fault"
 	"archexplorer/internal/obs"
 	"archexplorer/internal/ooo"
 	"archexplorer/internal/par"
+	"archexplorer/internal/persist"
 	"archexplorer/internal/pipetrace"
 	"archexplorer/internal/uarch"
 	"archexplorer/internal/workload"
@@ -50,6 +54,24 @@ type Options struct {
 	Progress io.Writer
 	// Fast shrinks everything for smoke tests and benchmarks.
 	Fast bool
+
+	// CheckpointDir, when set, gives every campaign grid cell its own
+	// crash-safe snapshot file <dir>/<cell>-s<seed>.json; with Resume set a
+	// re-run replays whatever those snapshots already hold, so a killed
+	// multi-hour fan-out picks up where it died.
+	CheckpointDir string
+	// CheckpointEvery throttles per-cell snapshots (0 = every batch).
+	CheckpointEvery time.Duration
+	// Resume restores each cell from its snapshot when one exists.
+	Resume bool
+
+	// Retry, StageTimeout, and SkipFailures are the evaluator resilience
+	// policy applied to every evaluator the harness builds (see dse).
+	Retry        fault.Retry
+	StageTimeout time.Duration
+	SkipFailures bool
+	// Faults is the injectable failure plan, for the fault-tolerance tests.
+	Faults *fault.Plan
 }
 
 // Defaults fills unset fields.
@@ -122,7 +144,35 @@ func newEvaluator(o Options, suite []workload.Profile) *dse.Evaluator {
 	ev := dse.NewEvaluator(uarch.StandardSpace(), suite, o.TraceLen)
 	ev.Parallelism = o.Parallelism
 	ev.Obs = o.Obs
+	ev.Faults = o.Faults
+	ev.Retry = o.Retry
+	ev.StageTimeout = o.StageTimeout
+	ev.SkipFailures = o.SkipFailures
 	return ev
+}
+
+// cellCheckpoint wires checkpoint/resume onto one grid cell's evaluator,
+// naming the snapshot after the cell and seed so independent cells never
+// clobber each other. A no-op without a CheckpointDir.
+func cellCheckpoint(o Options, ev *dse.Evaluator, cell string, seed int64) error {
+	if o.CheckpointDir == "" {
+		return nil
+	}
+	slug := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '-'
+		}
+	}, cell)
+	return persist.AttachCheckpoint(ev, persist.CheckpointOptions{
+		Path:   filepath.Join(o.CheckpointDir, fmt.Sprintf("%s-s%d.json", slug, seed)),
+		Every:  o.CheckpointEvery,
+		Resume: o.Resume,
+		Method: cell, Budget: o.Budget, Seed: seed,
+		Faults: o.Faults, Retry: o.Retry, Obs: o.Obs,
+	})
 }
 
 // exploreGrid runs a variants × seeds grid of independent explorations

@@ -66,6 +66,9 @@ func runAblation(o Options, w io.Writer) error {
 	fmt.Fprintf(w, "%-12s %12s %12s %14s\n", "variant", "HV@half", "HV@full", "full evals")
 	grid, err := exploreGrid(o, len(variants), o.Seeds, func(vi int, seed int64) (*dse.Evaluator, error) {
 		ev := newEvaluator(o, suite)
+		if err := cellCheckpoint(o, ev, "ablation-"+variants[vi].name, seed); err != nil {
+			return nil, err
+		}
 		if err := variants[vi].mk(seed).Run(ev, o.Budget); err != nil {
 			return nil, err
 		}

@@ -45,6 +45,9 @@ func runCalipersDSE(o Options, w io.Writer) error {
 	grid, err := exploreGrid(o, len(variants), o.Seeds, func(vi int, seed int64) (*dse.Evaluator, error) {
 		ev := newEvaluator(o, suite)
 		ev.UseCalipers = variants[vi].useCalipers
+		if err := cellCheckpoint(o, ev, fmt.Sprintf("calipersdse-v%d", vi), seed); err != nil {
+			return nil, err
+		}
 		if err := dse.NewArchExplorer(seed).Run(ev, o.Budget); err != nil {
 			return nil, err
 		}

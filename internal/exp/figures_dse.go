@@ -84,6 +84,9 @@ func runCampaign(o Options, suiteName string, w io.Writer) (map[string][]float64
 
 	grid, err := exploreGrid(o, len(methodNames), o.Seeds, func(m int, seed int64) (*dse.Evaluator, error) {
 		ev := newEvaluator(o, suite)
+		if err := cellCheckpoint(o, ev, suiteName+"-"+methodNames[m], seed); err != nil {
+			return nil, err
+		}
 		if err := methods(seed)[m].Run(ev, o.Budget); err != nil {
 			return nil, err
 		}
@@ -225,6 +228,9 @@ func runTable5(o Options, w io.Writer) error {
 		traces := make(map[string]trace)
 		grid, err := exploreGrid(o, len(methodNames), o.Seeds, func(m int, seed int64) (*dse.Evaluator, error) {
 			ev := newEvaluator(o, suite)
+			if err := cellCheckpoint(o, ev, "table5-"+suiteName+"-"+methodNames[m], seed); err != nil {
+				return nil, err
+			}
 			if err := methods(seed)[m].Run(ev, o.Budget); err != nil {
 				return nil, err
 			}

@@ -103,6 +103,54 @@ type IterEvent struct {
 // Kind implements Event.
 func (*IterEvent) Kind() string { return "iter" }
 
+// FaultEvent records one fault-handling action: a transient or timed-out
+// stage attempt that was retried (action "retry", class "transient" or
+// "timeout"), a permanently failed evaluation degraded to a journaled skip
+// (action "skip"), or a campaign snapshot that could not be written (action
+// "checkpoint-failed"). Retry events are collected worker-side but emitted
+// from the evaluator's commit phase in suite order, so the sequence stays
+// deterministic for a sequential evaluator.
+type FaultEvent struct {
+	Head
+	Site     string `json:"site"`
+	Class    string `json:"class,omitempty"`
+	Action   string `json:"action"`
+	Attempt  int    `json:"attempt,omitempty"`
+	Point    []int  `json:"point,omitempty"`
+	Workload string `json:"workload,omitempty"`
+	Err      string `json:"err,omitempty"`
+	// BackoffNS is the scheduled sleep before the retry — a policy value,
+	// not a measurement, so it is deterministic.
+	BackoffNS int64 `json:"backoff_ns,omitempty"`
+}
+
+// Kind implements Event.
+func (*FaultEvent) Kind() string { return "fault" }
+
+// CheckpointEvent marks one atomic campaign snapshot reaching disk.
+type CheckpointEvent struct {
+	Head
+	Path    string  `json:"path,omitempty"`
+	Designs int     `json:"designs"`
+	Sims    float64 `json:"sims"`
+}
+
+// Kind implements Event.
+func (*CheckpointEvent) Kind() string { return "checkpoint" }
+
+// ResumeEvent marks a campaign restored from a checkpoint: how much
+// explored state came back and will be replayed instead of re-simulated.
+type ResumeEvent struct {
+	Head
+	Path    string  `json:"path,omitempty"`
+	Designs int     `json:"designs"`
+	Skipped int     `json:"skipped,omitempty"`
+	Sims    float64 `json:"sims"`
+}
+
+// Kind implements Event.
+func (*ResumeEvent) Kind() string { return "resume" }
+
 // GridProgress marks one finished cell of an experiment's campaign grid.
 type GridProgress struct {
 	Head
@@ -218,6 +266,12 @@ func ReadJournal(r io.Reader) ([]Event, error) {
 			e = &IterEvent{}
 		case "grid":
 			e = &GridProgress{}
+		case "fault":
+			e = &FaultEvent{}
+		case "checkpoint":
+			e = &CheckpointEvent{}
+		case "resume":
+			e = &ResumeEvent{}
 		case "run_end":
 			e = &RunEnd{}
 		default:

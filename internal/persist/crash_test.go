@@ -1,0 +1,144 @@
+package persist
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"archexplorer/internal/fault"
+)
+
+// TestLoadSurvivesTruncationAtEveryByte simulates a crash mid-write at every
+// possible byte offset: reading the prefix must either succeed (trailing
+// whitespace only) and validate, or return a clean error — never panic and
+// never hand back a half-parsed campaign.
+func TestLoadSurvivesTruncationAtEveryByte(t *testing.T) {
+	_, c := smallCampaign(t)
+	var buf bytes.Buffer
+	if err := c.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if len(data) < 100 {
+		t.Fatalf("campaign implausibly small: %d bytes", len(data))
+	}
+
+	for i := 0; i <= len(data); i++ {
+		back, err := Read(bytes.NewReader(data[:i]))
+		if err != nil {
+			continue // a clean decode error is the expected outcome
+		}
+		// The decoder only succeeds when the prefix holds the complete
+		// JSON value, so the result must be the full, valid campaign.
+		if verr := ValidateCampaign(back); verr != nil {
+			t.Fatalf("truncation at %d/%d parsed but did not validate: %v", i, len(data), verr)
+		}
+		if len(back.Designs) != len(c.Designs) {
+			t.Fatalf("truncation at %d/%d parsed a partial campaign: %d designs, want %d",
+				i, len(data), len(back.Designs), len(c.Designs))
+		}
+	}
+
+	// The same property through the file-based path, at a spread of offsets
+	// including both edges.
+	dir := t.TempDir()
+	offsets := []int{0, 1, len(data) / 3, len(data) / 2, len(data) - 1, len(data)}
+	for _, i := range offsets {
+		path := filepath.Join(dir, "truncated.json")
+		if err := os.WriteFile(path, data[:i], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Load(path)
+		if err != nil {
+			continue
+		}
+		if verr := ValidateCampaign(back); verr != nil {
+			t.Fatalf("Load of %d-byte truncation did not validate: %v", i, verr)
+		}
+	}
+}
+
+// TestFailedSaveKeepsPreviousCheckpoint: a save that dies (injected
+// permanent persist.write fault) must leave the previous complete file
+// untouched and no temp debris behind — the atomic-rename contract.
+func TestFailedSaveKeepsPreviousCheckpoint(t *testing.T) {
+	_, c := smallCampaign(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "campaign.json")
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	crashed := c
+	crashed.SimsSpent += 100
+	err := saveWithFaults(&crashed, CheckpointOptions{
+		Path: path,
+		Faults: fault.MustPlan(fault.Injection{
+			Site: fault.SitePersistWrite, Nth: 1, Class: fault.Permanent,
+		}),
+	})
+	if err == nil {
+		t.Fatal("injected write fault did not surface")
+	}
+
+	back, err := Load(path)
+	if err != nil {
+		t.Fatalf("previous checkpoint unreadable after failed save: %v", err)
+	}
+	if back.SimsSpent != c.SimsSpent {
+		t.Fatalf("previous checkpoint clobbered: sims %v, want %v", back.SimsSpent, c.SimsSpent)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "campaign.json" {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("save left debris: %v", names)
+	}
+}
+
+// TestSaveErrorsCleanly pins the failure modes of the atomic save itself:
+// an unwritable destination errors (no panic), and a successful save leaves
+// exactly the destination file.
+func TestSaveErrorsCleanly(t *testing.T) {
+	_, c := smallCampaign(t)
+	if err := c.Save(filepath.Join(t.TempDir(), "missing-dir", "c.json")); err == nil {
+		t.Fatal("save into a missing directory did not error")
+	}
+	dir := t.TempDir()
+	if err := c.Save(filepath.Join(dir, "c.json")); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("successful save left %d entries, want 1", len(entries))
+	}
+}
+
+// TestTransientSaveFaultRetried: a transient persist.write fault is absorbed
+// by the retry policy and the snapshot still lands.
+func TestTransientSaveFaultRetried(t *testing.T) {
+	_, c := smallCampaign(t)
+	path := filepath.Join(t.TempDir(), "campaign.json")
+	err := saveWithFaults(&c, CheckpointOptions{
+		Path:  path,
+		Retry: fault.Retry{Max: 2},
+		Faults: fault.MustPlan(fault.Injection{
+			Site: fault.SitePersistWrite, Nth: 1, Class: fault.Transient,
+		}),
+	})
+	if err != nil {
+		t.Fatalf("transient save fault not retried: %v", err)
+	}
+	if _, err := Load(path); err != nil {
+		t.Fatal(err)
+	}
+}

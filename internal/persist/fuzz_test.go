@@ -1,0 +1,85 @@
+package persist
+
+import (
+	"bytes"
+	"testing"
+
+	"archexplorer/internal/uarch"
+)
+
+// fuzzSeedCampaign builds a small but fully-populated campaign covering
+// every optional field the reader knows about, including a failed design.
+func fuzzSeedCampaign(f *testing.F) []byte {
+	space := uarch.StandardSpace()
+	pt := space.Nearest(uarch.Baseline())
+	cfg := space.Decode(pt)
+	c := Campaign{
+		Version: CampaignVersion, Method: "ArchExplorer", Suite: "SPEC06",
+		Budget: 12, Seed: 7, TraceLen: 1200, SimsSpent: 4, Journal: "run.jsonl",
+		StageTimes: &StageTimesJSON{TraceNS: 10, SimNS: 20, PowerNS: 3, DEGNS: 4},
+		Designs: []EvaluationJSON{
+			{
+				Config: cfg, Point: pt[:],
+				Perf: 1.2, PowerW: 0.8, AreaMM2: 9.5, SimsAt: 2,
+				PerWorkloadIPC: []float64{1.1, 1.3},
+				Times:          &StageTimesJSON{TraceNS: 5, SimNS: 10, PowerNS: 1, DEGNS: 2},
+				Report: &ReportJSON{
+					Cycles: 1000, Base: 0.4,
+					Contribution: map[string]float64{"ROB": 0.3, "IQ": 0.1},
+					EdgeCounts:   map[string]int{"ROB": 12},
+				},
+			},
+			{
+				Config: cfg, SimsAt: 4,
+				Failed: true, FailSite: "sim", FailReason: "injected",
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := c.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzRead drives the campaign reader with arbitrary bytes: it must never
+// panic, and anything it accepts must survive a write/read round trip.
+// Run the full fuzzer with:
+//
+//	go test -fuzz=FuzzRead -fuzztime=30s ./internal/persist/
+func FuzzRead(f *testing.F) {
+	valid := fuzzSeedCampaign(f)
+	f.Add(valid)
+	// Mid-write crash shapes: truncations of the valid seed.
+	for _, frac := range []int{1, 2, 3, 5} {
+		f.Add(valid[:len(valid)/frac])
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{nope`))
+	f.Add([]byte(`{"version": 99, "method": "x"}`))
+	f.Add([]byte(`{"designs": [{"sims_at": -1}]}`))
+	f.Add([]byte(`{"stage_times": {"sim_ns": "not-a-number"}}`))
+	f.Add([]byte(`[[[[[[[[`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejecting garbage cleanly is the contract
+		}
+		_ = ValidateCampaign(c) // must not panic on any accepted input
+		var buf bytes.Buffer
+		if err := c.Write(&buf); err != nil {
+			t.Fatalf("accepted campaign failed to serialize: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip of accepted campaign failed: %v\ninput: %q", err, data)
+		}
+		if len(back.Designs) != len(c.Designs) || back.Version != c.Version {
+			t.Fatalf("round trip drifted: %d/%d designs, version %d/%d",
+				len(back.Designs), len(c.Designs), back.Version, c.Version)
+		}
+	})
+}

@@ -10,12 +10,19 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"time"
 
 	"archexplorer/internal/deg"
 	"archexplorer/internal/dse"
 	"archexplorer/internal/pareto"
 	"archexplorer/internal/uarch"
 )
+
+// CampaignVersion is the on-disk format version this build writes. Older
+// files (including pre-versioning ones, which read back as version 0) still
+// load; files from a newer build are rejected rather than misread.
+const CampaignVersion = 1
 
 // ReportJSON is the stable on-disk form of a bottleneck report.
 type ReportJSON struct {
@@ -44,15 +51,49 @@ func FromReport(r *deg.Report) ReportJSON {
 	return out
 }
 
-// EvaluationJSON is one explored design.
+// ToReport reconstructs the DEG report a ReportJSON was written from —
+// everything the explorer consumes (cycles, base, per-resource contribution
+// and edge counts) round-trips exactly; the absolute per-resource delays
+// are not persisted and read back as zero.
+func (rj *ReportJSON) ToReport() (*deg.Report, error) {
+	out := &deg.Report{L: rj.Cycles, Base: rj.Base}
+	for name, v := range rj.Contribution {
+		res, ok := uarch.ResourceByName(name)
+		if !ok {
+			return nil, fmt.Errorf("persist: unknown resource %q in report", name)
+		}
+		out.Contrib[res] = v
+	}
+	for name, n := range rj.EdgeCounts {
+		res, ok := uarch.ResourceByName(name)
+		if !ok {
+			return nil, fmt.Errorf("persist: unknown resource %q in report", name)
+		}
+		out.EdgeCount[res] = n
+	}
+	return out, nil
+}
+
+// EvaluationJSON is one explored design. The fields beyond the original
+// config/PPA core exist for checkpoint resume: Point pins the design's
+// space coordinates (older files lack it and fall back to re-encoding the
+// config), PerWorkloadIPC and the failure fields let a resumed run replay
+// this evaluation's exact outcome, and Times carries its worker-time split
+// so stage totals still account the whole logical run.
 type EvaluationJSON struct {
-	Config  uarch.Config `json:"config"`
-	Perf    float64      `json:"perf_ipc"`
-	PowerW  float64      `json:"power_w"`
-	AreaMM2 float64      `json:"area_mm2"`
-	Probe   bool         `json:"probe,omitempty"`
-	SimsAt  float64      `json:"sims_at"`
-	Report  *ReportJSON  `json:"report,omitempty"`
+	Config         uarch.Config    `json:"config"`
+	Point          []int           `json:"point,omitempty"`
+	Perf           float64         `json:"perf_ipc"`
+	PowerW         float64         `json:"power_w"`
+	AreaMM2        float64         `json:"area_mm2"`
+	Probe          bool            `json:"probe,omitempty"`
+	SimsAt         float64         `json:"sims_at"`
+	PerWorkloadIPC []float64       `json:"per_workload_ipc,omitempty"`
+	Report         *ReportJSON     `json:"report,omitempty"`
+	Times          *StageTimesJSON `json:"times,omitempty"`
+	Failed         bool            `json:"failed,omitempty"`
+	FailSite       string          `json:"fail_site,omitempty"`
+	FailReason     string          `json:"fail_reason,omitempty"`
 }
 
 // StageTimesJSON is the stable on-disk form of the evaluator's
@@ -75,13 +116,33 @@ func FromStageTimes(st dse.StageTimes) StageTimesJSON {
 	}
 }
 
-// Campaign is a complete DSE run. StageTimes and Journal are optional
-// (omitempty) so files written before they existed still load.
+// ToStageTimes is the inverse of FromStageTimes.
+func (st StageTimesJSON) ToStageTimes() dse.StageTimes {
+	return dse.StageTimes{
+		Trace: time.Duration(st.TraceNS),
+		Sim:   time.Duration(st.SimNS),
+		Power: time.Duration(st.PowerNS),
+		DEG:   time.Duration(st.DEGNS),
+	}
+}
+
+// Campaign is a complete DSE run — and, since the checkpoint/resume work,
+// also the checkpoint format: Designs carries enough per-evaluation state
+// (point, per-workload IPCs, report, failure outcome) to replay the run up
+// to the snapshot. Every field beyond the original core is optional
+// (omitempty) so files written before it existed still load.
 type Campaign struct {
+	// Version is the on-disk format version (see CampaignVersion);
+	// pre-versioning files read back as 0.
+	Version   int     `json:"version,omitempty"`
 	Method    string  `json:"method"`
 	Suite     string  `json:"suite"`
 	Budget    int     `json:"budget"`
 	SimsSpent float64 `json:"sims_spent"`
+	// Seed and TraceLen pin the run's reproducibility knobs so a resume
+	// can refuse a checkpoint written under incompatible settings.
+	Seed     int64 `json:"seed,omitempty"`
+	TraceLen int   `json:"trace_len,omitempty"`
 	// StageTimes records where worker time went (trace/sim/power/DEG)
 	// for the run that produced this campaign.
 	StageTimes *StageTimesJSON `json:"stage_times,omitempty"`
@@ -91,19 +152,34 @@ type Campaign struct {
 	Designs []EvaluationJSON `json:"designs"`
 }
 
-// FromEvaluator captures an evaluator's history after an explorer ran.
+// FromEvaluator captures an evaluator's history after an explorer ran (or
+// mid-run, for a checkpoint). The caller stamps Seed; everything else comes
+// from the evaluator.
 func FromEvaluator(method, suite string, budget int, ev *dse.Evaluator) Campaign {
-	c := Campaign{Method: method, Suite: suite, Budget: budget, SimsSpent: ev.Sims}
+	c := Campaign{
+		Version: CampaignVersion,
+		Method:  method, Suite: suite, Budget: budget,
+		SimsSpent: ev.Sims, TraceLen: ev.TraceLen,
+	}
 	st := FromStageTimes(ev.StageTotals())
 	c.StageTimes = &st
 	for _, e := range ev.History {
 		ej := EvaluationJSON{
-			Config:  e.Config,
-			Perf:    e.PPA.Perf,
-			PowerW:  e.PPA.Power,
-			AreaMM2: e.PPA.Area,
-			Probe:   e.Probe,
-			SimsAt:  e.SimsAt,
+			Config:     e.Config,
+			Point:      append([]int(nil), e.Point[:]...),
+			Perf:       e.PPA.Perf,
+			PowerW:     e.PPA.Power,
+			AreaMM2:    e.PPA.Area,
+			Probe:      e.Probe,
+			SimsAt:     e.SimsAt,
+			Failed:     e.Failed,
+			FailSite:   e.FailSite,
+			FailReason: e.FailReason,
+		}
+		if !e.Failed {
+			ej.PerWorkloadIPC = append([]float64(nil), e.PerWorkloadIPC...)
+			t := FromStageTimes(e.Times)
+			ej.Times = &t
 		}
 		if e.Report != nil {
 			r := FromReport(e.Report)
@@ -114,12 +190,27 @@ func FromEvaluator(method, suite string, budget int, ev *dse.Evaluator) Campaign
 	return c
 }
 
+// Canonical returns a copy of the campaign with every non-deterministic
+// field stripped: the stage-time totals, the per-design worker times, and
+// the journal path. Two runs of the same campaign — including one that was
+// killed and resumed — serialise canonically to identical bytes.
+func (c *Campaign) Canonical() Campaign {
+	out := *c
+	out.StageTimes = nil
+	out.Journal = ""
+	out.Designs = append([]EvaluationJSON(nil), c.Designs...)
+	for i := range out.Designs {
+		out.Designs[i].Times = nil
+	}
+	return out
+}
+
 // Points converts the campaign back to PPA points (full evaluations only
 // unless probes is true), preserving completion order.
 func (c *Campaign) Points(probes bool) []pareto.Point {
 	var out []pareto.Point
 	for _, d := range c.Designs {
-		if d.Probe && !probes {
+		if (d.Probe && !probes) || d.Failed {
 			continue
 		}
 		out = append(out, pareto.Point{Perf: d.Perf, Power: d.PowerW, Area: d.AreaMM2})
@@ -134,26 +225,50 @@ func (c *Campaign) Write(w io.Writer) error {
 	return enc.Encode(c)
 }
 
-// Read parses a campaign.
+// Read parses a campaign, rejecting files written by a newer format.
 func Read(r io.Reader) (*Campaign, error) {
 	var c Campaign
 	if err := json.NewDecoder(r).Decode(&c); err != nil {
 		return nil, fmt.Errorf("persist: decode campaign: %w", err)
 	}
+	if c.Version > CampaignVersion {
+		return nil, fmt.Errorf("persist: campaign format v%d is newer than this build's v%d",
+			c.Version, CampaignVersion)
+	}
 	return &c, nil
 }
 
-// Save writes the campaign to a file.
+// Save writes the campaign to a file atomically: the JSON lands in a temp
+// file in the destination directory, is synced, and replaces the target
+// with a rename — so a crash mid-write (or mid-checkpoint) leaves either
+// the previous complete file or the new one, never a truncated hybrid.
 func (c *Campaign) Save(path string) error {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
 	if err != nil {
-		return err
+		return fmt.Errorf("persist: save %s: %w", path, err)
 	}
-	defer f.Close()
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("persist: save %s: %w", path, err)
+	}
 	if err := c.Write(f); err != nil {
-		return fmt.Errorf("persist: write %s: %w", path, err)
+		return fail(err)
 	}
-	return f.Close()
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: save %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: save %s: %w", path, err)
+	}
+	return nil
 }
 
 // Load reads a campaign from a file.
@@ -176,7 +291,8 @@ func ValidateCampaign(c *Campaign) error {
 		if err := d.Config.Validate(); err != nil {
 			return fmt.Errorf("persist: design %d: %w", i, err)
 		}
-		if d.Perf <= 0 || d.PowerW <= 0 || d.AreaMM2 <= 0 {
+		// A failed (degraded-skip) evaluation legitimately has zero PPA.
+		if !d.Failed && (d.Perf <= 0 || d.PowerW <= 0 || d.AreaMM2 <= 0) {
 			return fmt.Errorf("persist: design %d has non-positive PPA", i)
 		}
 		if d.SimsAt < prev {

@@ -47,8 +47,10 @@ func TestRoundTrip(t *testing.T) {
 		t.Fatalf("sims %v != %v", back.SimsSpent, ev.Sims)
 	}
 	for i := range c.Designs {
-		if back.Designs[i] != c.Designs[i] && back.Designs[i].Report == nil {
-			t.Fatalf("design %d drifted", i)
+		want := mustJSON(t, c.Designs[i])
+		got := mustJSON(t, back.Designs[i])
+		if want != got {
+			t.Fatalf("design %d drifted:\n%s\nvs\n%s", i, want, got)
 		}
 	}
 }

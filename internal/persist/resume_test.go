@@ -1,0 +1,335 @@
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"archexplorer/internal/dse"
+	"archexplorer/internal/fault"
+	"archexplorer/internal/uarch"
+	"archexplorer/internal/workload"
+)
+
+const (
+	resumeBudget = 12
+	resumeSeed   = int64(1)
+	resumeSuite  = "SPEC06"
+)
+
+// resumeEvaluator builds the small campaign evaluator the determinism
+// matrix runs on (two workloads keep the wall-clock down; parallelism is
+// the knob under test).
+func resumeEvaluator(parallelism int) *dse.Evaluator {
+	ev := dse.NewEvaluator(uarch.StandardSpace(), workload.Suite06()[:2], 1200)
+	ev.Parallelism = parallelism
+	return ev
+}
+
+// canonJSON is the byte-identity yardstick: the campaign minus wall-clock
+// noise (stage times) and the journal path.
+func canonJSON(t *testing.T, c *Campaign) string {
+	t.Helper()
+	b, err := json.Marshal(c.Canonical())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// cleanCanonical runs one uninterrupted campaign and returns its canonical
+// form — the ground truth every kill-and-resume variant must reproduce.
+func cleanCanonical(t *testing.T, mk func(int64) dse.Explorer) string {
+	t.Helper()
+	ev := resumeEvaluator(1)
+	ex := mk(resumeSeed)
+	if err := ex.Run(ev, resumeBudget); err != nil {
+		t.Fatal(err)
+	}
+	c := FromEvaluator(ex.Name(), resumeSuite, resumeBudget, ev)
+	c.Seed = resumeSeed
+	return canonJSON(t, &c)
+}
+
+// killAndResume murders one campaign at the killAt-th simulator invocation
+// (checkpointing after every committed batch), resumes it from the
+// checkpoint with a fresh evaluator and explorer, and returns the resumed
+// run's canonical campaign. killFired reports whether the kill actually
+// interrupted the run (tiny campaigns can finish before a late kill point).
+func killAndResume(t *testing.T, mk func(int64) dse.Explorer, parallelism, killAt int) (canon string, killFired bool) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "checkpoint.json")
+
+	// Phase 1: the doomed run.
+	ev := resumeEvaluator(parallelism)
+	ev.Faults = fault.MustPlan(fault.Injection{
+		Site: fault.SiteSim, Nth: killAt, Class: fault.Kill,
+	})
+	ex := mk(resumeSeed)
+	opts := CheckpointOptions{
+		Path: path, Method: ex.Name(), Suite: resumeSuite,
+		Budget: resumeBudget, Seed: resumeSeed,
+	}
+	if err := AttachCheckpoint(ev, opts); err != nil {
+		t.Fatal(err)
+	}
+	err := ex.Run(ev, resumeBudget)
+	if err == nil {
+		// The campaign finished before the kill point arrived: there is
+		// nothing to resume, the completed run IS the result.
+		c := FromEvaluator(ex.Name(), resumeSuite, resumeBudget, ev)
+		c.Seed = resumeSeed
+		return canonJSON(t, &c), false
+	}
+	if !fault.IsKill(err) {
+		t.Fatalf("kill injection surfaced as a non-kill error: %v", err)
+	}
+
+	// Phase 2: the survivor. Fresh evaluator, fresh explorer, same seed and
+	// flags, no faults — primed by replaying the checkpoint.
+	ev2 := resumeEvaluator(parallelism)
+	ex2 := mk(resumeSeed)
+	opts.Resume = true
+	if err := AttachCheckpoint(ev2, opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex2.Run(ev2, resumeBudget); err != nil {
+		t.Fatal(err)
+	}
+	c := FromEvaluator(ex2.Name(), resumeSuite, resumeBudget, ev2)
+	c.Seed = resumeSeed
+	return canonJSON(t, &c), true
+}
+
+// TestKillAndResumeByteIdentical is the tentpole pin: for each explorer,
+// parallelism setting, and kill point, a campaign killed mid-flight and
+// resumed from its last checkpoint produces a byte-identical canonical
+// campaign to the uninterrupted run.
+func TestKillAndResumeByteIdentical(t *testing.T) {
+	explorers := []struct {
+		name string
+		mk   func(int64) dse.Explorer
+	}{
+		{"ArchExplorer", func(s int64) dse.Explorer { return dse.NewArchExplorer(s) }},
+		{"Random", func(s int64) dse.Explorer { return &dse.RandomSearch{Seed: s} }},
+	}
+	for _, ex := range explorers {
+		want := cleanCanonical(t, ex.mk)
+		anyKillFired := false
+		for _, parallelism := range []int{1, 4} {
+			for _, killAt := range []int{3, 7, 11} {
+				name := fmt.Sprintf("%s/p%d/kill%d", ex.name, parallelism, killAt)
+				got, fired := killAndResume(t, ex.mk, parallelism, killAt)
+				anyKillFired = anyKillFired || fired
+				if got != want {
+					t.Errorf("%s: resumed campaign drifted from uninterrupted run\n got: %s\nwant: %s",
+						name, got, want)
+				}
+			}
+		}
+		if !anyKillFired {
+			t.Errorf("%s: no kill point ever fired — the matrix tested nothing", ex.name)
+		}
+	}
+}
+
+// TestBaselineExplorersKillAndResume extends one kill point to the learned
+// baselines, whose explorers carry model state that must be rebuilt
+// correctly by replay.
+func TestBaselineExplorersKillAndResume(t *testing.T) {
+	explorers := []func(int64) dse.Explorer{
+		func(s int64) dse.Explorer { return dse.NewAdaBoostDSE(s) },
+		func(s int64) dse.Explorer { return dse.NewBOOMExplorer(s) },
+		func(s int64) dse.Explorer { return dse.NewArchRankerDSE(s) },
+	}
+	for _, mk := range explorers {
+		name := mk(resumeSeed).Name()
+		want := cleanCanonical(t, mk)
+		got, _ := killAndResume(t, mk, 1, 5)
+		if got != want {
+			t.Errorf("%s: resumed campaign drifted from uninterrupted run\n got: %s\nwant: %s",
+				name, got, want)
+		}
+	}
+}
+
+// TestResumeUnderRandomFaultsProperty quantifies the determinism claim:
+// for random transient fault plans and a random kill point, the killed-and-
+// resumed campaign equals the clean one — transients are absorbed by
+// retries, the kill by the checkpoint.
+func TestResumeUnderRandomFaultsProperty(t *testing.T) {
+	mk := func(s int64) dse.Explorer { return dse.NewArchExplorer(s) }
+	want := cleanCanonical(t, mk)
+	sites := []string{fault.SiteTrace, fault.SiteSim, fault.SitePower, fault.SiteDEG}
+
+	prop := func(planSeed int64, killRaw uint8) bool {
+		killAt := 2 + int(killRaw)%18
+		rng := rand.New(rand.NewSource(planSeed))
+		inj := make([]fault.Injection, 0, 4)
+		for k := 0; k < 3; k++ {
+			inj = append(inj, fault.Injection{
+				Site:  sites[rng.Intn(len(sites))],
+				Nth:   1 + rng.Intn(25),
+				Count: 1 + rng.Intn(2),
+				Class: fault.Transient,
+			})
+		}
+		inj = append(inj, fault.Injection{Site: fault.SiteSim, Nth: killAt, Class: fault.Kill})
+
+		path := filepath.Join(t.TempDir(), "checkpoint.json")
+		ev := resumeEvaluator(1)
+		ev.Faults = fault.MustPlan(inj...)
+		ev.Retry = fault.Retry{Max: 3}
+		ex := mk(resumeSeed)
+		opts := CheckpointOptions{
+			Path: path, Method: ex.Name(), Suite: resumeSuite,
+			Budget: resumeBudget, Seed: resumeSeed,
+		}
+		if err := AttachCheckpoint(ev, opts); err != nil {
+			t.Error(err)
+			return false
+		}
+		err := ex.Run(ev, resumeBudget)
+		if err == nil {
+			// A transient injection shadowed the kill hit (or the run ended
+			// first): the run completed, absorbing every fault. It must
+			// still equal the clean run.
+			c := FromEvaluator(ex.Name(), resumeSuite, resumeBudget, ev)
+			c.Seed = resumeSeed
+			return canonJSON(t, &c) == want
+		}
+		if !fault.IsKill(err) {
+			t.Errorf("plan %d: non-kill error surfaced: %v", planSeed, err)
+			return false
+		}
+		ev2 := resumeEvaluator(1)
+		ex2 := mk(resumeSeed)
+		opts.Resume = true
+		if err := AttachCheckpoint(ev2, opts); err != nil {
+			t.Error(err)
+			return false
+		}
+		if err := ex2.Run(ev2, resumeBudget); err != nil {
+			t.Error(err)
+			return false
+		}
+		c := FromEvaluator(ex2.Name(), resumeSuite, resumeBudget, ev2)
+		c.Seed = resumeSeed
+		return canonJSON(t, &c) == want
+	}
+	cfg := &quick.Config{MaxCount: 4, Rand: rand.New(rand.NewSource(99))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSkipReplay pins degraded-mode resume: a campaign that skipped a
+// permanently-failed design checkpoints the skip, and a resume replays it —
+// same Failed placeholder, same budget charge, same downstream trajectory.
+func TestSkipReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "checkpoint.json")
+	mk := func(s int64) dse.Explorer { return dse.NewArchExplorer(s) }
+
+	ev := resumeEvaluator(1)
+	ev.Faults = fault.MustPlan(fault.Injection{
+		Site: fault.SiteSim, Nth: 5, Class: fault.Permanent,
+	})
+	ev.SkipFailures = true
+	ex := mk(resumeSeed)
+	opts := CheckpointOptions{
+		Path: path, Method: ex.Name(), Suite: resumeSuite,
+		Budget: resumeBudget, Seed: resumeSeed,
+	}
+	if err := AttachCheckpoint(ev, opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Run(ev, resumeBudget); err != nil {
+		t.Fatal(err)
+	}
+	c := FromEvaluator(ex.Name(), resumeSuite, resumeBudget, ev)
+	c.Seed = resumeSeed
+	want := canonJSON(t, &c)
+
+	failed := 0
+	ck, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ck.Designs {
+		if d.Failed {
+			failed++
+		}
+	}
+	if failed == 0 {
+		t.Fatal("checkpoint recorded no failed design — the injection never fired")
+	}
+
+	// Resume from the final checkpoint: the whole campaign replays,
+	// including the skip, with no faults injected this time.
+	ev2 := resumeEvaluator(1)
+	ex2 := mk(resumeSeed)
+	opts.Resume = true
+	if err := AttachCheckpoint(ev2, opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex2.Run(ev2, resumeBudget); err != nil {
+		t.Fatal(err)
+	}
+	c2 := FromEvaluator(ex2.Name(), resumeSuite, resumeBudget, ev2)
+	c2.Seed = resumeSeed
+	if got := canonJSON(t, &c2); got != want {
+		t.Fatalf("skip replay drifted\n got: %s\nwant: %s", got, want)
+	}
+	replayFailed := 0
+	for _, e := range ev2.History {
+		if e.Failed {
+			replayFailed++
+		}
+	}
+	if replayFailed != failed {
+		t.Fatalf("replayed %d failed designs, checkpoint held %d", replayFailed, failed)
+	}
+}
+
+// TestResumeRejectsForeignCheckpoint: resuming against a checkpoint whose
+// identity (seed here) disagrees must refuse rather than corrupt the run.
+func TestResumeRejectsForeignCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "checkpoint.json")
+	_, c := smallCampaign(t)
+	c.Seed = 42
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	ev := resumeEvaluator(1)
+	err := AttachCheckpoint(ev, CheckpointOptions{
+		Path: path, Resume: true, Method: c.Method, Suite: c.Suite,
+		Budget: c.Budget, Seed: 7,
+	})
+	if err == nil {
+		t.Fatal("seed mismatch not rejected")
+	}
+}
+
+// TestResumeMissingCheckpointIsFresh: -resume with no checkpoint yet is a
+// fresh run, not an error (the first crash may predate the first snapshot).
+func TestResumeMissingCheckpointIsFresh(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "never-written.json")
+	ev := resumeEvaluator(1)
+	err := AttachCheckpoint(ev, CheckpointOptions{
+		Path: path, Resume: true, Method: "ArchExplorer", Suite: resumeSuite,
+		Budget: resumeBudget, Seed: resumeSeed,
+	})
+	if err != nil {
+		t.Fatalf("missing checkpoint treated as error: %v", err)
+	}
+	if err := dse.NewArchExplorer(resumeSeed).Run(ev, resumeBudget); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("fresh run never checkpointed: %v", err)
+	}
+}

@@ -200,6 +200,17 @@ func (r Resource) String() string {
 	return fmt.Sprintf("Resource(%d)", uint8(r))
 }
 
+// ResourceByName is the inverse of Resource.String, for deserialising
+// reports whose resources were stored by display name.
+func ResourceByName(name string) (Resource, bool) {
+	for r, n := range resourceNames {
+		if n == name {
+			return Resource(r), true
+		}
+	}
+	return ResNone, false
+}
+
 // Resources returns every attributable resource in display order.
 func Resources() []Resource {
 	out := make([]Resource, 0, NumResources-1)
