@@ -15,7 +15,7 @@ COVER_MIN_OBS := 85
 COVER_MIN_DSE := 80
 COVER_MIN_FAULT := 90
 
-.PHONY: build vet test race cover fuzz-seeds bench ci
+.PHONY: build vet test race cover fuzz-seeds bench bench-deg ci
 
 build:
 	$(GO) build ./...
@@ -49,5 +49,10 @@ fuzz-seeds:
 # One regeneration per experiment plus the evaluator fan-out comparison.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Whole-trace vs windowed DEG analysis: same trace, same report, compare
+# B/op and allocs/op to see the pooled windowed path's working-set bound.
+bench-deg:
+	$(GO) test -bench='BenchmarkDEG' -benchmem -run XXX .
 
 ci: vet race cover fuzz-seeds

@@ -111,6 +111,36 @@ func BenchmarkDEGAnalyze(b *testing.B) {
 	}
 }
 
+// BenchmarkDEGAnalyzeWindowed measures the same analysis through the
+// windowed, allocation-pooled path (10 windows of 2000 instructions).
+// Compare allocs/op against BenchmarkDEGAnalyze: peak memory is bounded by
+// one window's graph, and the pooled buffers amortize to near-zero steady-
+// state allocation.
+func BenchmarkDEGAnalyzeWindowed(b *testing.B) {
+	p, err := workload.ByName("458.sjeng")
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream, err := workload.CachedTrace(p, 20000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	core, err := ooo.New(uarch.Baseline())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, _, err := core.Run(stream)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := deg.AnalyzeWindowed(tr, deg.WindowOptions{Window: 2000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkHypervolume3D measures the exact hypervolume computation on a
 // 200-point set.
 func BenchmarkHypervolume3D(b *testing.B) {

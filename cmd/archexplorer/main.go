@@ -37,10 +37,12 @@ func main() {
 		tele      cli.Telemetry
 		ckpt      cli.Checkpoint
 		resil     cli.Resilience
+		degf      cli.DEG
 	)
 	tele.AddTelemetryFlags(flag.CommandLine)
 	ckpt.AddCheckpointFlags(flag.CommandLine)
 	resil.AddResilienceFlags(flag.CommandLine)
+	degf.AddDEGFlags(flag.CommandLine)
 	flag.Parse()
 
 	var suite []workload.Profile
@@ -84,6 +86,7 @@ func main() {
 	ev.Parallelism = *parallel
 	ev.Obs = rec
 	resil.Apply(ev)
+	degf.Apply(ev)
 	if err := ckpt.Wire(ev, ex.Name(), strings.ToUpper(*suiteName), *budget, *seed, rec); err != nil {
 		stopTelemetry()
 		cli.Fatal(err)

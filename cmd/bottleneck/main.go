@@ -32,6 +32,7 @@ func main() {
 		all    = flag.Bool("all", false, "average the report over every workload")
 		dotOut = flag.String("dot", "", "write the induced DEG as Graphviz DOT to this file (small -n only)")
 		tele   cli.Telemetry
+		degf   cli.DEG
 	)
 	flag.IntVar(&cfg.Width, "width", cfg.Width, "pipeline width")
 	flag.IntVar(&cfg.ROBEntries, "rob", cfg.ROBEntries, "reorder buffer entries")
@@ -44,10 +45,14 @@ func main() {
 	flag.IntVar(&cfg.DCacheKB, "dcache", cfg.DCacheKB, "L1 D$ size in KB")
 	flag.IntVar(&cfg.ICacheKB, "icache", cfg.ICacheKB, "L1 I$ size in KB")
 	tele.AddTelemetryFlags(flag.CommandLine)
+	degf.AddDEGFlags(flag.CommandLine)
 	flag.Parse()
 
 	if err := cfg.Validate(); err != nil {
 		cli.Usagef("%v", err)
+	}
+	if *dotOut != "" && degf.Window > 0 {
+		cli.Usagef("-dot needs the whole-trace graph; drop -deg-window")
 	}
 
 	profiles := []workload.Profile{}
@@ -90,8 +95,26 @@ func main() {
 		times[2] = time.Since(t0)
 
 		t0 = time.Now()
-		rep, g, cp, err := deg.Analyze(tr, deg.Options{})
-		cli.Check(err)
+		var rep *deg.Report
+		var g *deg.Graph
+		var cp *deg.CriticalPath
+		var ws *deg.WindowStats
+		if degf.Window > 0 {
+			rep, ws, err = deg.AnalyzeWindowed(tr, deg.WindowOptions{
+				Window: degf.Window, Overlap: degf.Overlap,
+			})
+			cli.Check(err)
+			rec.Gauge(obs.MetricDEGWindows).Set(float64(ws.Windows))
+			rec.Gauge(obs.MetricDEGPeakEdges).Set(float64(ws.PeakEdges))
+			if d := ws.Dropped(); d > 0 {
+				rec.Counter(obs.MetricDEGDrops).Add(int64(d))
+			}
+			fmt.Printf("windowed analysis: %d windows, peak %d edges / %d vertices, %d clipped deps\n",
+				ws.Windows, ws.PeakEdges, ws.PeakVertices, ws.ClippedDeps)
+		} else {
+			rep, g, cp, err = deg.Analyze(tr, deg.Options{})
+			cli.Check(err)
+		}
 		times[3] = time.Since(t0)
 		reports = append(reports, rep)
 
@@ -100,13 +123,19 @@ func main() {
 		rec.Histogram(obs.MetricStageSim).Observe(times[1].Seconds())
 		rec.Histogram(obs.MetricStagePower).Observe(times[2].Seconds())
 		rec.Histogram(obs.MetricStageDEG).Observe(times[3].Seconds())
-		rec.Emit(&obs.EvalSpan{
+		span := &obs.EvalSpan{
 			Span: rec.NextSpan(), Config: cfg.String() + " @ " + p.Name,
 			SimsAt: float64(len(reports)), Perf: stats.IPC(), PowerW: pw.PowerW, AreaMM2: pw.AreaMM2,
 			TraceNS: times[0].Nanoseconds(), SimNS: times[1].Nanoseconds(),
 			PowerNS: times[2].Nanoseconds(), DEGNS: times[3].Nanoseconds(),
 			ElapsedNS: (times[0] + times[1] + times[2] + times[3]).Nanoseconds(),
-		})
+		}
+		if ws != nil {
+			span.DEGWindows = ws.Windows
+			span.DEGPeakEdges = ws.PeakEdges
+			span.DEGDrops = int64(ws.Dropped())
+		}
+		rec.Emit(span)
 
 		if *dotOut != "" && !*all {
 			f, err := os.Create(*dotOut)

@@ -36,9 +36,11 @@ func main() {
 		resume   = flag.Bool("resume", false, "resume grid cells from their -checkpoint-dir snapshots where present")
 		tele     cli.Telemetry
 		resil    cli.Resilience
+		degf     cli.DEG
 	)
 	tele.AddTelemetryFlags(flag.CommandLine)
 	resil.AddResilienceFlags(flag.CommandLine)
+	degf.AddDEGFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list || *run == "" {
@@ -76,6 +78,8 @@ func main() {
 		Retry:           fault.Retry{Max: resil.Retries, Base: resil.RetryBase, Cap: resil.RetryCap},
 		StageTimeout:    resil.StageTimeout,
 		SkipFailures:    resil.SkipFailures,
+		DEGWindow:       degf.Window,
+		DEGOverlap:      degf.Overlap,
 	}
 	// Campaign grids are multi-minute; surface cell completions live
 	// whenever any telemetry is on.

@@ -140,6 +140,30 @@ func (c *Checkpoint) Wire(ev *dse.Evaluator, method, suite string, budget int, s
 	})
 }
 
+// DEG is the shared bottleneck-analysis flag set: the streaming windowed
+// analyzer's window size and context margin. Both default to 0, which
+// keeps the whole-trace analyzer — byte-identical to an unwired binary.
+type DEG struct {
+	// Window is the instructions per analysis window (-deg-window); 0
+	// analyzes the whole trace in one pass.
+	Window int
+	// Overlap is the context margin prepended to each window
+	// (-deg-overlap); 0 uses deg.DefaultOverlap.
+	Overlap int
+}
+
+// AddDEGFlags registers the windowed-analysis flags on fs.
+func (d *DEG) AddDEGFlags(fs *flag.FlagSet) {
+	fs.IntVar(&d.Window, "deg-window", 0, "run bottleneck analysis in instruction windows of this size (pooled buffers, O(window) memory); 0 analyzes the whole trace")
+	fs.IntVar(&d.Overlap, "deg-overlap", 0, "context margin in instructions prepended to each -deg-window so cross-boundary edges are seen; 0 uses the default")
+}
+
+// Apply installs the windowed-analysis knobs on the evaluator.
+func (d *DEG) Apply(ev *dse.Evaluator) {
+	ev.DEGWindow = d.Window
+	ev.DEGOverlap = d.Overlap
+}
+
 // Resilience is the shared fault-tolerance flag set: the retry policy for
 // transient evaluation failures, the per-stage timeout, and whether
 // permanent failures abort the campaign or degrade to journaled skips.

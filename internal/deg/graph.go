@@ -98,24 +98,48 @@ type Edge struct {
 	Cost     int64          // DP cost (Section 4.2)
 }
 
-// Graph is the induced DEG of one microexecution.
+// Graph is the induced DEG of one microexecution — or, for the windowed
+// analyzer (AnalyzeWindowed), of one window of it, with vertex IDs local to
+// the window so arbitrarily long traces stay within the int32 packing.
 type Graph struct {
 	Trace *pipetrace.Trace
 	Edges []Edge
+
+	// base is the global sequence number of local vertex seq 0. Whole-trace
+	// graphs have base 0.
+	base int
 
 	// in[v] lists indices into Edges of v's incoming edges; indexed
 	// densely by VertexID.
 	in [][]int32
 
 	// Statistics.
-	NumVertices   int
-	EdgesByKind   [NumEdgeKinds]int
+	NumVertices int
+	EdgesByKind [NumEdgeKinds]int
+	// SkewedAnchors counts the distinct (vertex, start) anchors feeding the
+	// virtual-edge rules.
 	SkewedAnchors int
+
+	// Defensive-drop counters: edges addEdge refused to create. On a trace
+	// that passes pipetrace validation both must stay zero (the simulator
+	// invariants test asserts this); non-zero values indicate trace
+	// corruption and are surfaced through the evaluator's telemetry rather
+	// than vanishing silently.
+	DroppedNoStamp  int // an endpoint's stage never happened
+	DroppedBackward int // the edge would run backward in time
+	// ClippedDeps counts dependence annotations whose producer precedes the
+	// window's context base. Whole-trace builds always see zero; windowed
+	// builds clip the rare producer older than the overlap margin.
+	ClippedDeps int
 }
+
+// Dropped is the total defensively dropped edge count (trace-corruption
+// indicator; window-context clipping is structural and counted separately).
+func (g *Graph) Dropped() int { return g.DroppedNoStamp + g.DroppedBackward }
 
 // time returns the stamp of a vertex.
 func (g *Graph) time(v VertexID) int64 {
-	return g.Trace.Records[v.Seq()].Stamp[v.Stage()]
+	return g.Trace.Records[g.base+v.Seq()].Stamp[v.Stage()]
 }
 
 // order is the topological sort key: edges always go forward in
@@ -141,36 +165,77 @@ type Options struct {
 	MaxVirtualScan int
 }
 
+// anchor is one endpoint of a skewed edge — a participant in the induced
+// DEG's virtual-edge rules.
+type anchor struct {
+	v     VertexID
+	ord   [3]int64
+	start bool // true for skewed-edge start vertices (virtual targets)
+}
+
+// vkey dedups virtual edges; akey dedups skewed-edge anchors.
+type vkey struct{ f, t VertexID }
+type akey struct {
+	v     VertexID
+	start bool
+}
+
 // Build constructs the induced DEG from a pipeline trace.
 func Build(tr *pipetrace.Trace, opts Options) (*Graph, error) {
-	if len(tr.Records) == 0 {
-		return nil, fmt.Errorf("deg: empty trace")
+	g := &Graph{}
+	if err := buildInto(g, tr, opts, 0, len(tr.Records), nil); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// buildInto constructs the induced DEG over records [base, end) into the
+// zeroed graph g, with vertex IDs local to base. When b is non-nil the
+// graph's slices and scratch maps come from the (pooled) buffers so
+// repeated builds reuse their allocations; such a graph is only valid until
+// the buffers' next build. Dependence annotations reaching back before base
+// are clipped and counted (whole-trace builds pass base 0 and never clip).
+func buildInto(g *Graph, tr *pipetrace.Trace, opts Options, base, end int, b *buffers) error {
+	nRecs := end - base
+	if nRecs <= 0 {
+		return fmt.Errorf("deg: empty trace")
 	}
 	if opts.MaxVirtualScan <= 0 {
 		opts.MaxVirtualScan = 64
 	}
-	if len(tr.Records) > (math.MaxInt32-pipetrace.NumStages+1)/pipetrace.NumStages {
-		// VertexID is an int32 of seq*NumStages+stage.
-		return nil, fmt.Errorf("deg: trace of %d instructions exceeds the %d-instruction graph limit",
-			len(tr.Records), (math.MaxInt32-pipetrace.NumStages+1)/pipetrace.NumStages)
+	if nRecs > (math.MaxInt32-pipetrace.NumStages+1)/pipetrace.NumStages {
+		// VertexID is an int32 of seq*NumStages+stage; IDs are local to the
+		// build range, so only this range — not the whole trace — must fit.
+		return fmt.Errorf("deg: trace of %d instructions exceeds the %d-instruction graph limit",
+			nRecs, (math.MaxInt32-pipetrace.NumStages+1)/pipetrace.NumStages)
 	}
-	g := &Graph{Trace: tr}
+	g.Trace = tr
+	g.base = base
 
-	// Skewed-edge anchor bookkeeping for the induced DEG.
-	type anchor struct {
-		v     VertexID
-		ord   [3]int64
-		start bool // true for skewed-edge start vertices (virtual targets)
-	}
+	// Skewed-edge anchor bookkeeping for the induced DEG, deduped by
+	// (vertex, start): a vertex shared by several skewed edges used to push
+	// one anchor per edge, repeating identical Rule 1/Rule 2 scans and
+	// crowding the bounded Rule-2 candidate window with duplicates.
 	var anchors []anchor
+	var aseen map[akey]bool
+	if b != nil {
+		g.Edges = b.edges[:0]
+		anchors = b.anchors[:0]
+		aseen = b.aseen
+		clear(aseen)
+	} else {
+		aseen = make(map[akey]bool)
+	}
 
 	addEdge := func(from, to VertexID, kind EdgeKind, res uarch.Resource) {
 		df, dt := g.time(from), g.time(to)
 		if df == pipetrace.NoStamp || dt == pipetrace.NoStamp {
+			g.DroppedNoStamp++
 			return
 		}
 		delay := dt - df
 		if delay < 0 {
+			g.DroppedBackward++
 			return // defensive: never create a backward edge
 		}
 		var cost int64
@@ -186,19 +251,33 @@ func Build(tr *pipetrace.Trace, opts Options) (*Graph, error) {
 		if len(g.Edges) == n {
 			return
 		}
-		anchors = append(anchors,
-			anchor{v: from, ord: g.order(from), start: true},
-			anchor{v: to, ord: g.order(to), start: false})
+		if k := (akey{from, true}); !aseen[k] {
+			aseen[k] = true
+			anchors = append(anchors, anchor{v: from, ord: g.order(from), start: true})
+		}
+		if k := (akey{to, false}); !aseen[k] {
+			aseen[k] = true
+			anchors = append(anchors, anchor{v: to, ord: g.order(to), start: false})
+		}
 	}
 
-	for i := range tr.Records {
-		rec := &tr.Records[i]
+	// clip drops a producer annotation that precedes the build range.
+	clip := func(producer int) bool {
+		if producer >= base {
+			return false
+		}
+		g.ClippedDeps++
+		return true
+	}
+
+	for i := 0; i < nRecs; i++ {
+		rec := &tr.Records[base+i]
 		// Horizontal pipeline chain. Attribution of base latencies: the
 		// I$ response edge attributes to ICache and the load access edge
 		// to DCache; remaining hops are unattributed pipeline progress.
 		prev := pipetrace.SF1
 		for s := pipetrace.SF2; s < pipetrace.Stage(pipetrace.NumStages); s++ {
-			if rec.Stamp[s] == pipetrace.NoStamp {
+			if !rec.HasStage(s) {
 				continue
 			}
 			res := uarch.ResNone
@@ -226,22 +305,28 @@ func Build(tr *pipetrace.Trace, opts Options) (*Graph, error) {
 
 		// Hardware resource dependencies (rename to rename).
 		for _, rd := range rec.ResourceDeps {
-			addSkewed(Vertex(rd.Producer, pipetrace.SR), Vertex(i, pipetrace.SR), EdgeResource, rd.Resource)
+			if clip(rd.Producer) {
+				continue
+			}
+			addSkewed(Vertex(rd.Producer-base, pipetrace.SR), Vertex(i, pipetrace.SR), EdgeResource, rd.Resource)
 		}
 		// Functional unit and port contention (issue to issue).
-		if rec.FUProducer >= 0 {
-			addSkewed(Vertex(rec.FUProducer, pipetrace.SI), Vertex(i, pipetrace.SI), EdgeFU, rec.FURes)
+		if rec.FUProducer >= 0 && !clip(rec.FUProducer) {
+			addSkewed(Vertex(rec.FUProducer-base, pipetrace.SI), Vertex(i, pipetrace.SI), EdgeFU, rec.FURes)
 		}
-		if rec.PortProducer >= 0 {
-			addSkewed(Vertex(rec.PortProducer, pipetrace.SI), Vertex(i, pipetrace.SI), EdgeFU, uarch.ResRdWrPort)
+		if rec.PortProducer >= 0 && !clip(rec.PortProducer) {
+			addSkewed(Vertex(rec.PortProducer-base, pipetrace.SI), Vertex(i, pipetrace.SI), EdgeFU, uarch.ResRdWrPort)
 		}
 		// True data dependence.
 		for _, p := range rec.DataProducers {
-			addSkewed(Vertex(p, pipetrace.SI), Vertex(i, pipetrace.SI), EdgeData, uarch.ResRawDep)
+			if clip(p) {
+				continue
+			}
+			addSkewed(Vertex(p-base, pipetrace.SI), Vertex(i, pipetrace.SI), EdgeData, uarch.ResRawDep)
 		}
 		// Misprediction dependence.
-		if rec.MispredictFrom >= 0 {
-			addSkewed(Vertex(rec.MispredictFrom, pipetrace.SP), Vertex(i, pipetrace.SF1), EdgeMispredict, uarch.ResBranchPred)
+		if rec.MispredictFrom >= 0 && !clip(rec.MispredictFrom) {
+			addSkewed(Vertex(rec.MispredictFrom-base, pipetrace.SP), Vertex(i, pipetrace.SF1), EdgeMispredict, uarch.ResBranchPred)
 		}
 	}
 
@@ -250,6 +335,9 @@ func Build(tr *pipetrace.Trace, opts Options) (*Graph, error) {
 	// closest after its own, and (Rule 2) the target whose instruction
 	// sequence is closest after its own.
 	var targets []anchor
+	if b != nil {
+		targets = b.targets[:0]
+	}
 	for _, a := range anchors {
 		if a.start {
 			targets = append(targets, a)
@@ -259,8 +347,13 @@ func Build(tr *pipetrace.Trace, opts Options) (*Graph, error) {
 	g.SkewedAnchors = len(anchors)
 
 	// Dedup helper for virtual edges.
-	type vkey struct{ f, t VertexID }
-	seen := make(map[vkey]bool)
+	var seen map[vkey]bool
+	if b != nil {
+		seen = b.vseen
+		clear(seen)
+	} else {
+		seen = make(map[vkey]bool)
+	}
 	addVirtual := func(from, to VertexID) {
 		if from == to {
 			return
@@ -300,9 +393,15 @@ func Build(tr *pipetrace.Trace, opts Options) (*Graph, error) {
 	}
 
 	// Index incoming edges and tally statistics.
-	total := len(tr.Records) * pipetrace.NumStages
-	g.in = make([][]int32, total)
-	touched := make([]bool, total)
+	total := nRecs * pipetrace.NumStages
+	var touched []bool
+	if b != nil {
+		g.in = b.ensureIn(total)
+		touched = b.ensureTouched(total)
+	} else {
+		g.in = make([][]int32, total)
+		touched = make([]bool, total)
+	}
 	for i := range g.Edges {
 		e := &g.Edges[i]
 		g.in[e.To] = append(g.in[e.To], int32(i))
@@ -315,7 +414,14 @@ func Build(tr *pipetrace.Trace, opts Options) (*Graph, error) {
 			g.NumVertices++
 		}
 	}
-	return g, nil
+	if b != nil {
+		// Hand the (possibly reallocated) slices back so the next build
+		// reuses their grown capacity.
+		b.edges = g.Edges
+		b.anchors = anchors
+		b.targets = targets
+	}
+	return nil
 }
 
 func seqDist(a, b VertexID) int {

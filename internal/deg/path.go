@@ -32,6 +32,12 @@ type CriticalPath struct {
 // silently corrupting the order — the bug the old 24-bit packing had for
 // traces beyond ~2M records.
 func topoSort(verts []VertexID, time func(VertexID) int64) {
+	topoSortInto(verts, time, nil)
+}
+
+// topoSortInto is topoSort with a reusable key buffer (the windowed
+// analyzer pools it); it returns the buffer so grown capacity survives.
+func topoSortInto(verts []VertexID, time func(VertexID) int64, keys []uint64) []uint64 {
 	var maxTime int64
 	for _, v := range verts {
 		if t := time(v); t > maxTime {
@@ -39,7 +45,10 @@ func topoSort(verts []VertexID, time func(VertexID) int64) {
 		}
 	}
 	if maxTime < 1<<32 {
-		keys := make([]uint64, len(verts))
+		if cap(keys) < len(verts) {
+			keys = make([]uint64, len(verts))
+		}
+		keys = keys[:len(verts)]
 		for i, v := range verts {
 			keys[i] = uint64(time(v))<<32 | uint64(uint32(v))
 		}
@@ -47,7 +56,7 @@ func topoSort(verts []VertexID, time func(VertexID) int64) {
 		for i, k := range keys {
 			verts[i] = VertexID(uint32(k))
 		}
-		return
+		return keys
 	}
 	sort.Slice(verts, func(i, j int) bool {
 		ti, tj := time(verts[i]), time(verts[j])
@@ -56,6 +65,7 @@ func topoSort(verts []VertexID, time func(VertexID) int64) {
 		}
 		return verts[i] < verts[j]
 	})
+	return keys
 }
 
 // Construct runs Algorithm 1 (dynamic-programming longest path in
@@ -65,13 +75,37 @@ func topoSort(verts []VertexID, time func(VertexID) int64) {
 // as the virtual super-sink. Runtime not covered by the path telescopes
 // into the report's Base share.
 func (g *Graph) Construct() (*CriticalPath, error) {
+	return g.constructInto(nil)
+}
+
+// constructInto is Construct with pooled scratch arrays: when b is non-nil
+// the topological order, DP tables, and the reconstructed path all live in
+// the buffers, so the returned path is only valid until the buffers' next
+// use. The d/parent tables need no reinitialisation between uses — every
+// sorted vertex's entry is written before any read.
+func (g *Graph) constructInto(b *buffers) (*CriticalPath, error) {
 	if len(g.Edges) == 0 {
 		return nil, fmt.Errorf("deg: graph has no edges")
 	}
 
 	// Topological order: (time, seq, stage) is valid by construction.
-	total := len(g.Trace.Records) * pipetrace.NumStages
-	present := make([]bool, total)
+	// len(g.in) is the dense vertex-ID space of this (possibly windowed)
+	// graph.
+	total := len(g.in)
+	var present []bool
+	var d []int64
+	var parent []int32 // incoming edge index, -1 none
+	var verts []VertexID
+	if b != nil {
+		present = b.ensurePresent(total)
+		d = b.ensureD(total)
+		parent = b.ensureParent(total)
+		verts = b.verts[:0]
+	} else {
+		present = make([]bool, total)
+		d = make([]int64, total)
+		parent = make([]int32, total)
+	}
 	nVerts := 0
 	for i := range g.Edges {
 		for _, v := range [2]VertexID{g.Edges[i].From, g.Edges[i].To} {
@@ -81,18 +115,22 @@ func (g *Graph) Construct() (*CriticalPath, error) {
 			}
 		}
 	}
-	verts := make([]VertexID, 0, nVerts)
+	if b == nil {
+		verts = make([]VertexID, 0, nVerts)
+	}
 	for v := 0; v < total; v++ {
 		if present[v] {
 			verts = append(verts, VertexID(v))
 		}
 	}
-	topoSort(verts, g.time)
-
-	d := make([]int64, total)
-	parent := make([]int32, total) // incoming edge index, -1 none
-	for i := range parent {
-		parent[i] = -1
+	var keys []uint64
+	if b != nil {
+		keys = b.keys
+	}
+	keys = topoSortInto(verts, g.time, keys)
+	if b != nil {
+		b.keys = keys
+		b.verts = verts
 	}
 
 	var bestV VertexID
@@ -118,6 +156,10 @@ func (g *Graph) Construct() (*CriticalPath, error) {
 	// Reconstruct backwards from the super-sink.
 	var redges []Edge
 	var rverts []VertexID
+	if b != nil {
+		redges = b.redges[:0]
+		rverts = b.rverts[:0]
+	}
 	v := bestV
 	for {
 		rverts = append(rverts, v)
@@ -127,6 +169,10 @@ func (g *Graph) Construct() (*CriticalPath, error) {
 		}
 		redges = append(redges, g.Edges[pe])
 		v = g.Edges[pe].From
+	}
+	if b != nil {
+		b.redges = redges
+		b.rverts = rverts
 	}
 	// Reverse into execution order.
 	for i, j := 0, len(rverts)-1; i < j; i, j = i+1, j-1 {
@@ -154,6 +200,11 @@ type Report struct {
 	// DelayByRes holds the absolute attributed cycles per resource.
 	DelayByRes [uarch.NumResources]int64
 	Base       float64
+	// BaseClamped records that the raw Base came out negative (attributed
+	// delay exceeded L, e.g. a truncated trace whose Cycles undercounts the
+	// path) and was clamped to zero instead of being reported as a silently
+	// negative fraction.
+	BaseClamped bool
 	// EdgeCount counts critical-path edges attributed per resource.
 	EdgeCount [uarch.NumResources]int
 }
@@ -174,8 +225,18 @@ func Analyze(tr *pipetrace.Trace, opts Options) (*Report, *Graph, *CriticalPath,
 }
 
 // Attribute computes Equation 1 over a constructed critical path.
+//
+// When the trace carries no cycle count (tr.Cycles <= 0) the denominator
+// falls back to the critical path's wall-clock Span rather than 1 — an L of
+// one cycle would report every resource at thousands of percent. If the
+// attributed delay still exceeds L (truncated traces whose Cycles
+// undercounts the path), Base is clamped to zero and the report flags it
+// via BaseClamped instead of going silently negative.
 func Attribute(tr *pipetrace.Trace, cp *CriticalPath) *Report {
 	rep := &Report{L: tr.Cycles}
+	if rep.L <= 0 {
+		rep.L = cp.Span
+	}
 	if rep.L <= 0 {
 		rep.L = 1
 	}
@@ -192,6 +253,10 @@ func Attribute(tr *pipetrace.Trace, cp *CriticalPath) *Report {
 		rep.Contrib[r] = float64(rep.DelayByRes[r]) / float64(rep.L)
 	}
 	rep.Base = 1 - float64(attributed)/float64(rep.L)
+	if rep.Base < 0 {
+		rep.Base = 0
+		rep.BaseClamped = true
+	}
 	return rep
 }
 
@@ -254,6 +319,7 @@ func Merge(reports []*Report, weights []float64) (*Report, error) {
 		w := weights[i] / wsum
 		lMean += w * float64(rep.L)
 		out.Base += w * rep.Base
+		out.BaseClamped = out.BaseClamped || (w > 0 && rep.BaseClamped)
 		for r := range rep.Contrib {
 			out.Contrib[r] += w * rep.Contrib[r]
 			delayMean[r] += w * float64(rep.DelayByRes[r])
@@ -269,7 +335,11 @@ func Merge(reports []*Report, weights []float64) (*Report, error) {
 
 // String renders the report as the paper's bottleneck analysis table.
 func (r *Report) String() string {
-	out := fmt.Sprintf("bottleneck report (L=%d cycles, base=%.1f%%)\n", r.L, 100*r.Base)
+	clamp := ""
+	if r.BaseClamped {
+		clamp = " [base clamped: attributed delay exceeded L]"
+	}
+	out := fmt.Sprintf("bottleneck report (L=%d cycles, base=%.1f%%%s)\n", r.L, 100*r.Base, clamp)
 	for _, res := range r.Top() {
 		out += fmt.Sprintf("  %-12s %6.2f%%  (%d edges, %d cycles)\n",
 			res, 100*r.Contrib[res], r.EdgeCount[res], r.DelayByRes[res])

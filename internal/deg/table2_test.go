@@ -223,6 +223,49 @@ func TestVirtualEdgesConnectConsecutiveSkewedEdges(t *testing.T) {
 	}
 }
 
+// TestAnchorDedupPinnedEdgeCounts pins the exact induced-DEG shape of a
+// fixture where one vertex starts two skewed edges: R(0) produces for both
+// R(2) and R(3). Before anchors were deduped by (vertex, start), R(0)
+// appeared twice in the anchor list — repeating its Rule 1/Rule 2 scans and
+// crowding the bounded Rule-2 candidate window — and SkewedAnchors
+// over-reported as 6.
+func TestAnchorDedupPinnedEdgeCounts(t *testing.T) {
+	var recs []pipetrace.Record
+	for i := 0; i < 6; i++ {
+		recs = append(recs, mkRecord(i, int64(3*i), isa.OpIntAlu))
+	}
+	recs[2].ResourceDeps = []pipetrace.ResourceDep{{Resource: uarch.ResROB, Producer: 0}}
+	recs[3].ResourceDeps = []pipetrace.ResourceDep{{Resource: uarch.ResIQ, Producer: 0}}
+	recs[5].ResourceDeps = []pipetrace.ResourceDep{{Resource: uarch.ResIQ, Producer: 3}}
+	tr := mkTrace(recs...)
+
+	g, err := Build(tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 non-memory instructions × 8 pipeline hops.
+	if got := g.EdgesByKind[EdgePipeline]; got != 48 {
+		t.Fatalf("%d pipeline edges, want 48", got)
+	}
+	if got := g.EdgesByKind[EdgeResource]; got != 3 {
+		t.Fatalf("%d resource edges, want 3", got)
+	}
+	// Rule 1 from R(0)'s start anchor and from R(2)'s end anchor both reach
+	// the next episode's start R(3); anchors at or after R(3) have no later
+	// target.
+	if got := g.EdgesByKind[EdgeVirtual]; got != 2 {
+		t.Fatalf("%d virtual edges, want 2", got)
+	}
+	// Distinct (vertex, start) anchors: R(0)/start, R(2)/end, R(3)/end,
+	// R(3)/start, R(5)/end.
+	if g.SkewedAnchors != 5 {
+		t.Fatalf("SkewedAnchors=%d, want 5 (duplicate R(0) start anchor not deduped)", g.SkewedAnchors)
+	}
+	if g.Dropped() != 0 {
+		t.Fatalf("defensive drops on a clean fixture: %+v", g)
+	}
+}
+
 func TestAttributionUsesActualDelays(t *testing.T) {
 	// One 10-cycle resource stall in a 20-cycle execution: the resource's
 	// contribution must be 10/Cycles.

@@ -1,0 +1,245 @@
+package deg
+
+import (
+	"fmt"
+	"sync"
+
+	"archexplorer/internal/pipetrace"
+	"archexplorer/internal/uarch"
+)
+
+// DefaultOverlap is the context margin, in instructions, prepended to each
+// window when WindowOptions.Overlap is zero. Dependence annotations point
+// backwards at most as far as the in-flight window allows — the largest ROB
+// in the design space holds 192 instructions — so 256 covers every producer
+// a window-interior instruction can name, with slack for misprediction
+// refills that reach slightly past the reorder window.
+const DefaultOverlap = 256
+
+// WindowOptions tunes the windowed analyzer.
+type WindowOptions struct {
+	Options
+	// Window is the number of instructions per analysis window. Zero (or a
+	// value >= the trace length) analyzes the whole trace in one pass,
+	// byte-identical to Analyze.
+	Window int
+	// Overlap is the context margin in instructions prepended to each
+	// window so cross-boundary edges are seen; the margin's edges are
+	// attributed only by the window that owns their head instruction, so
+	// each edge is counted exactly once. Zero means DefaultOverlap.
+	Overlap int
+}
+
+// WindowStats summarizes a windowed analysis run.
+type WindowStats struct {
+	// Windows is the number of windows analyzed (1 for whole-trace).
+	Windows int
+	// PeakEdges and PeakVertices are the largest single-window graph sizes —
+	// the working-set measure that replaces the whole-trace graph size.
+	PeakEdges    int
+	PeakVertices int
+	// Defensive-drop totals summed across windows (see Graph).
+	DroppedNoStamp  int
+	DroppedBackward int
+	// ClippedDeps totals dependence annotations whose producer preceded the
+	// window's context margin (structural, not corruption).
+	ClippedDeps int
+}
+
+// Dropped is the total defensively dropped edge count across all windows.
+func (s *WindowStats) Dropped() int { return s.DroppedNoStamp + s.DroppedBackward }
+
+// buffers is the reusable scratch state for one windowed analysis: every
+// slice the graph build and the critical-path DP would otherwise allocate
+// per window. The d/parent tables carry stale values between windows by
+// design — constructInto writes every sorted vertex's entry before reading
+// it — while present/touched and the dedup maps are cleared each build.
+type buffers struct {
+	// Graph build.
+	edges   []Edge
+	anchors []anchor
+	targets []anchor
+	in      [][]int32
+	touched []bool
+	vseen   map[vkey]bool
+	aseen   map[akey]bool
+
+	// Critical-path construction.
+	present []bool
+	d       []int64
+	parent  []int32
+	keys    []uint64
+	verts   []VertexID
+	rverts  []VertexID
+	redges  []Edge
+}
+
+var bufPool = sync.Pool{
+	New: func() any {
+		return &buffers{
+			vseen: make(map[vkey]bool),
+			aseen: make(map[akey]bool),
+		}
+	},
+}
+
+func (b *buffers) ensureIn(total int) [][]int32 {
+	if cap(b.in) < total {
+		b.in = append(b.in[:cap(b.in)], make([][]int32, total-cap(b.in))...)
+	}
+	b.in = b.in[:total]
+	for i := range b.in {
+		b.in[i] = b.in[i][:0]
+	}
+	return b.in
+}
+
+func (b *buffers) ensureTouched(total int) []bool {
+	if cap(b.touched) < total {
+		b.touched = make([]bool, total)
+	}
+	b.touched = b.touched[:total]
+	clear(b.touched)
+	return b.touched
+}
+
+func (b *buffers) ensurePresent(total int) []bool {
+	if cap(b.present) < total {
+		b.present = make([]bool, total)
+	}
+	b.present = b.present[:total]
+	clear(b.present)
+	return b.present
+}
+
+func (b *buffers) ensureD(total int) []int64 {
+	if cap(b.d) < total {
+		b.d = make([]int64, total)
+	}
+	b.d = b.d[:total]
+	return b.d
+}
+
+func (b *buffers) ensureParent(total int) []int32 {
+	if cap(b.parent) < total {
+		b.parent = make([]int32, total)
+	}
+	b.parent = b.parent[:total]
+	return b.parent
+}
+
+// AnalyzeWindowed is the streaming counterpart of Analyze: it slices the
+// trace into fixed-size instruction windows, builds each window's induced
+// DEG (plus a backward context margin) into pooled buffers, runs
+// Algorithm 1 per window, and stitches the per-window critical paths into
+// one Report. Peak memory is O(window), not O(trace), and vertex IDs are
+// window-local, so traces are no longer capped by the int32 VertexID
+// packing.
+//
+// Every attributed edge is owned by exactly one window — the one whose
+// [lo, hi) instruction range contains the edge's head (To) instruction;
+// margin edges appear in a window's graph for path context but are
+// attributed only by their owner. On traces no longer than one window the
+// result is identical to Analyze; across windows the per-resource Contrib
+// matches whole-trace analysis within a small tolerance because each
+// window picks its own locally longest path (see DESIGN.md §10).
+//
+// The returned Report and WindowStats are self-contained; no pooled memory
+// escapes.
+func AnalyzeWindowed(tr *pipetrace.Trace, opts WindowOptions) (*Report, *WindowStats, error) {
+	n := len(tr.Records)
+	if n == 0 {
+		return nil, nil, fmt.Errorf("deg: empty trace")
+	}
+	if opts.Window <= 0 || opts.Window >= n {
+		rep, g, _, err := Analyze(tr, opts.Options)
+		if err != nil {
+			return nil, nil, err
+		}
+		st := &WindowStats{
+			Windows:         1,
+			PeakEdges:       g.NumEdges(),
+			PeakVertices:    g.NumVertices,
+			DroppedNoStamp:  g.DroppedNoStamp,
+			DroppedBackward: g.DroppedBackward,
+			ClippedDeps:     g.ClippedDeps,
+		}
+		return rep, st, nil
+	}
+	overlap := opts.Overlap
+	if overlap <= 0 {
+		overlap = DefaultOverlap
+	}
+
+	b := bufPool.Get().(*buffers)
+	defer bufPool.Put(b)
+
+	rep := &Report{}
+	st := &WindowStats{}
+	var attributed int64
+	for lo := 0; lo < n; lo += opts.Window {
+		hi := lo + opts.Window
+		if hi > n {
+			hi = n
+		}
+		base := lo - overlap
+		if base < 0 {
+			base = 0
+		}
+		// The margin extends forward as well as back: the window's path then
+		// chooses how to cross the right boundary with knowledge of what
+		// follows, instead of greedily maximizing cost up to hi — which is
+		// where a context-free local path diverges most from the global one.
+		end := hi + overlap
+		if end > n {
+			end = n
+		}
+		var g Graph
+		if err := buildInto(&g, tr, opts.Options, base, end, b); err != nil {
+			return nil, nil, err
+		}
+		st.Windows++
+		if g.NumEdges() > st.PeakEdges {
+			st.PeakEdges = g.NumEdges()
+		}
+		if g.NumVertices > st.PeakVertices {
+			st.PeakVertices = g.NumVertices
+		}
+		st.DroppedNoStamp += g.DroppedNoStamp
+		st.DroppedBackward += g.DroppedBackward
+		st.ClippedDeps += g.ClippedDeps
+
+		cp, err := g.constructInto(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, e := range cp.Edges {
+			if e.Res == uarch.ResNone {
+				continue
+			}
+			if seq := base + e.To.Seq(); seq < lo || seq >= hi {
+				continue // a margin edge; its owner window attributes it
+			}
+			rep.DelayByRes[e.Res] += e.Delay
+			rep.EdgeCount[e.Res]++
+			attributed += e.Delay
+		}
+	}
+
+	rep.L = tr.Cycles
+	if rep.L <= 0 {
+		rep.L = tr.Span()
+	}
+	if rep.L <= 0 {
+		rep.L = 1
+	}
+	for r := range rep.Contrib {
+		rep.Contrib[r] = float64(rep.DelayByRes[r]) / float64(rep.L)
+	}
+	rep.Base = 1 - float64(attributed)/float64(rep.L)
+	if rep.Base < 0 {
+		rep.Base = 0
+		rep.BaseClamped = true
+	}
+	return rep, st, nil
+}

@@ -77,6 +77,15 @@ type Evaluation struct {
 	Times   StageTimes
 	Elapsed time.Duration
 
+	// DEGWindows and DEGPeakEdges summarize windowed bottleneck analysis
+	// across the suite: total windows analyzed and the largest
+	// single-window graph. Both stay zero on whole-trace runs. DEGDrops
+	// counts defensively dropped DEG edges in either mode — nonzero means
+	// the simulator emitted a corrupt trace.
+	DEGWindows   int
+	DEGPeakEdges int
+	DEGDrops     int64
+
 	// Failed marks an evaluation that failed permanently and was degraded
 	// to a journaled skip (SkipFailures mode, or a failure replayed from a
 	// checkpoint). Its PPA is zero and it never joins Pareto reductions,
@@ -138,6 +147,15 @@ type Evaluator struct {
 	// DEG formulation — the Section 6.2 comparison where the old
 	// formulation's mis-attributed contributions steer the same DSE loop.
 	UseCalipers bool
+
+	// DEGWindow switches bottleneck analysis to the streaming windowed
+	// analyzer (deg.AnalyzeWindowed) with this many instructions per
+	// window, bounding peak memory to O(window). 0, the default, keeps
+	// whole-trace analysis — byte-identical to previous behavior.
+	// DEGOverlap is the windows' context margin in instructions; 0 means
+	// deg.DefaultOverlap.
+	DEGWindow  int
+	DEGOverlap int
 
 	// Sims counts the simulation budget spent so far, in units of full
 	// (config, workload) simulations. It is mutated only while committing
@@ -460,6 +478,13 @@ func (ev *Evaluator) obsCommit(j *job) {
 		rec.Counter(obs.MetricEvaluations).Inc()
 	}
 	rec.Gauge(obs.MetricBudgetSpent).Set(e.SimsAt)
+	if e.DEGDrops > 0 {
+		rec.Counter(obs.MetricDEGDrops).Add(e.DEGDrops)
+	}
+	if e.DEGWindows > 0 {
+		rec.Gauge(obs.MetricDEGWindows).Set(float64(e.DEGWindows))
+		rec.Gauge(obs.MetricDEGPeakEdges).Set(float64(e.DEGPeakEdges))
+	}
 	if !rec.JournalEnabled() {
 		return
 	}
@@ -495,10 +520,13 @@ func (ev *Evaluator) obsCommit(j *job) {
 		Config:    e.Config.String(),
 		Probe:     e.Probe,
 		SimsAt:    e.SimsAt,
-		Perf:      e.PPA.Perf,
-		PowerW:    e.PPA.Power,
-		AreaMM2:   e.PPA.Area,
-		TraceNS:   e.Times.Trace.Nanoseconds(),
+		Perf:         e.PPA.Perf,
+		PowerW:       e.PPA.Power,
+		AreaMM2:      e.PPA.Area,
+		DEGWindows:   e.DEGWindows,
+		DEGPeakEdges: e.DEGPeakEdges,
+		DEGDrops:     e.DEGDrops,
+		TraceNS:      e.Times.Trace.Nanoseconds(),
 		SimNS:     e.Times.Sim.Nanoseconds(),
 		PowerNS:   e.Times.Power.Nanoseconds(),
 		DEGNS:     e.Times.DEG.Nanoseconds(),
@@ -529,6 +557,9 @@ func (ev *Evaluator) leafGate() func(func()) {
 type wlResult struct {
 	ipc, pow, area float64
 	rep            *deg.Report
+	degWindows     int
+	degPeakEdges   int
+	degDrops       int64
 	times          StageTimes
 	err            error
 	// faults are the slot's retry/timeout records, in occurrence order.
@@ -584,6 +615,16 @@ func (ev *Evaluator) compute(j *job, probe bool, leaf func(func())) {
 type simOutcome struct {
 	tr    *pipetrace.Trace
 	stats *ooo.Stats
+}
+
+// degOutcome bundles the bottleneck stage's products: the report plus the
+// windowed analyzer's stats (zero for whole-trace and calipers analysis,
+// except drops which both DEG modes surface).
+type degOutcome struct {
+	rep       *deg.Report
+	windows   int
+	peakEdges int
+	drops     int64
 }
 
 // simWorkload runs one (config, workload) simulation end to end: trace,
@@ -664,19 +705,36 @@ func (ev *Evaluator) simWorkload(cfg uarch.Config, wl workload.Profile, traceLen
 
 	if withDEG {
 		t0 = time.Now()
-		rep, err := runStage(sr, fault.SiteDEG, func() (*deg.Report, error) {
+		dout, err := runStage(sr, fault.SiteDEG, func() (degOutcome, error) {
 			if ev.UseCalipers {
-				return calipersReport(tr, cfg)
+				rep, err := calipersReport(tr, cfg)
+				return degOutcome{rep: rep}, err
 			}
-			rep, _, _, err := deg.Analyze(tr, deg.Options{})
-			return rep, err
+			if ev.DEGWindow > 0 {
+				rep, ws, err := deg.AnalyzeWindowed(tr, deg.WindowOptions{
+					Window: ev.DEGWindow, Overlap: ev.DEGOverlap,
+				})
+				if err != nil {
+					return degOutcome{}, err
+				}
+				return degOutcome{rep: rep, windows: ws.Windows,
+					peakEdges: ws.PeakEdges, drops: int64(ws.Dropped())}, nil
+			}
+			rep, g, _, err := deg.Analyze(tr, deg.Options{})
+			if err != nil {
+				return degOutcome{}, err
+			}
+			return degOutcome{rep: rep, drops: int64(g.Dropped())}, nil
 		})
 		r.times.DEG = time.Since(t0)
 		if err != nil {
 			r.err = err
 			return r
 		}
-		r.rep = rep
+		r.rep = dout.rep
+		r.degWindows = dout.windows
+		r.degPeakEdges = dout.peakEdges
+		r.degDrops = dout.drops
 	}
 	return r
 }
@@ -727,6 +785,11 @@ func (ev *Evaluator) reduce(j *job, probe bool, cfg uarch.Config, outs []wlResul
 			reports = append(reports, outs[k].rep)
 		}
 		e.Times.add(outs[k].times)
+		e.DEGWindows += outs[k].degWindows
+		if outs[k].degPeakEdges > e.DEGPeakEdges {
+			e.DEGPeakEdges = outs[k].degPeakEdges
+		}
+		e.DEGDrops += outs[k].degDrops
 	}
 
 	if ev.Weights != nil {

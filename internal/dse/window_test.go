@@ -1,0 +1,116 @@
+package dse
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"archexplorer/internal/obs"
+	"archexplorer/internal/uarch"
+)
+
+// Windowed DEG analysis is an analysis-side knob: it must not perturb the
+// simulation (PPA, per-workload IPC) and its merged report must agree with
+// whole-trace analysis closely enough for bottleneck ranking.
+func TestEvaluatorWindowedDEGParity(t *testing.T) {
+	whole := NewEvaluator(uarch.StandardSpace(), miniSuite(), 2000)
+	win := NewEvaluator(uarch.StandardSpace(), miniSuite(), 2000)
+	win.DEGWindow = 500
+
+	pt := whole.Space.Nearest(uarch.Baseline())
+	eW, err := whole.Evaluate(pt, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eV, err := win.Evaluate(pt, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if eW.PPA != eV.PPA {
+		t.Fatalf("windowing changed PPA: %+v vs %+v", eW.PPA, eV.PPA)
+	}
+	for i := range eW.PerWorkloadIPC {
+		if eW.PerWorkloadIPC[i] != eV.PerWorkloadIPC[i] {
+			t.Fatalf("workload %d IPC differs: %v vs %v", i, eW.PerWorkloadIPC[i], eV.PerWorkloadIPC[i])
+		}
+	}
+
+	if eW.DEGWindows != 0 || eW.DEGPeakEdges != 0 {
+		t.Fatalf("whole-trace evaluation reported window stats: %d windows, %d peak edges",
+			eW.DEGWindows, eW.DEGPeakEdges)
+	}
+	wantWindows := 4 * len(win.Workloads) // ceil(2000/500) per workload
+	if eV.DEGWindows != wantWindows {
+		t.Fatalf("DEGWindows = %d, want %d", eV.DEGWindows, wantWindows)
+	}
+	if eV.DEGPeakEdges <= 0 {
+		t.Fatalf("DEGPeakEdges = %d, want > 0", eV.DEGPeakEdges)
+	}
+	if eW.DEGDrops != 0 || eV.DEGDrops != 0 {
+		t.Fatalf("defensive drops: whole=%d windowed=%d, want 0", eW.DEGDrops, eV.DEGDrops)
+	}
+
+	for r, c := range eW.Report.Contrib {
+		if d := math.Abs(c - eV.Report.Contrib[r]); d > 0.01 {
+			t.Errorf("%s: whole %.5f windowed %.5f (diff %.5f)",
+				uarch.Resource(r), c, eV.Report.Contrib[r], d)
+		}
+	}
+}
+
+// The journal carries the window stats on windowed runs and omits the
+// fields entirely on whole-trace runs, so default journals stay
+// byte-identical to pre-windowing builds.
+func TestEvaluatorWindowedDEGJournal(t *testing.T) {
+	spans := func(window int) ([]*obs.EvalSpan, []byte) {
+		ev := NewEvaluator(uarch.StandardSpace(), miniSuite(), 1000)
+		ev.DEGWindow = window
+		rec := obs.New()
+		var buf bytes.Buffer
+		rec.SetJournalWriter(&buf)
+		ev.Obs = rec
+		if _, err := ev.Evaluate(ev.Space.Nearest(uarch.Baseline()), true); err != nil {
+			t.Fatal(err)
+		}
+		if err := rec.Close(); err != nil {
+			t.Fatal(err)
+		}
+		events, err := obs.ReadJournal(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []*obs.EvalSpan
+		for _, e := range events {
+			if s, ok := e.(*obs.EvalSpan); ok {
+				out = append(out, s)
+			}
+		}
+		if len(out) == 0 {
+			t.Fatal("no EvalSpan events in journal")
+		}
+		return out, buf.Bytes()
+	}
+
+	winSpans, _ := spans(300)
+	last := winSpans[len(winSpans)-1]
+	if last.DEGWindows <= 0 || last.DEGPeakEdges <= 0 {
+		t.Fatalf("windowed EvalSpan missing stats: windows=%d peakEdges=%d",
+			last.DEGWindows, last.DEGPeakEdges)
+	}
+	if last.DEGDrops != 0 {
+		t.Fatalf("windowed EvalSpan drops = %d, want 0", last.DEGDrops)
+	}
+
+	wholeSpans, raw := spans(0)
+	for _, s := range wholeSpans {
+		if s.DEGWindows != 0 || s.DEGPeakEdges != 0 || s.DEGDrops != 0 {
+			t.Fatalf("whole-trace EvalSpan carries window stats: %+v", s)
+		}
+	}
+	for _, field := range []string{"deg_windows", "deg_peak_edges", "deg_drops"} {
+		if bytes.Contains(raw, []byte(field)) {
+			t.Fatalf("whole-trace journal contains %q; omitempty regression", field)
+		}
+	}
+}

@@ -65,6 +65,12 @@ type Options struct {
 	// Resume restores each cell from its snapshot when one exists.
 	Resume bool
 
+	// DEGWindow and DEGOverlap switch every evaluator the harness builds
+	// to windowed bottleneck analysis (see dse.Evaluator); 0 keeps the
+	// whole-trace analyzer.
+	DEGWindow  int
+	DEGOverlap int
+
 	// Retry, StageTimeout, and SkipFailures are the evaluator resilience
 	// policy applied to every evaluator the harness builds (see dse).
 	Retry        fault.Retry
@@ -148,6 +154,8 @@ func newEvaluator(o Options, suite []workload.Profile) *dse.Evaluator {
 	ev.Retry = o.Retry
 	ev.StageTimeout = o.StageTimeout
 	ev.SkipFailures = o.SkipFailures
+	ev.DEGWindow = o.DEGWindow
+	ev.DEGOverlap = o.DEGOverlap
 	return ev
 }
 

@@ -62,6 +62,13 @@ type EvalSpan struct {
 	Perf     float64 `json:"perf"`
 	PowerW   float64 `json:"power_w"`
 	AreaMM2  float64 `json:"area_mm2"`
+	// Windowed-DEG outcome: total windows and largest single-window graph
+	// across the suite, plus defensively dropped DEG edges (a trace-
+	// corruption indicator). All omitted on whole-trace runs, keeping
+	// journals from default configurations byte-identical to before.
+	DEGWindows   int   `json:"deg_windows,omitempty"`
+	DEGPeakEdges int   `json:"deg_peak_edges,omitempty"`
+	DEGDrops     int64 `json:"deg_drops,omitempty"`
 	// Durations vary run to run; every other field is deterministic.
 	TraceNS   int64 `json:"trace_ns"`
 	SimNS     int64 `json:"sim_ns"`

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"archexplorer/internal/deg"
 	"archexplorer/internal/isa"
 	"archexplorer/internal/pipetrace"
 	"archexplorer/internal/uarch"
@@ -323,6 +324,29 @@ func TestSmallFetchBufferSlowsStraightLineFetch(t *testing.T) {
 	}
 	if sS.IPC() > sB.IPC()*1.02 {
 		t.Fatalf("smaller fetch buffer should not be faster: %.3f vs %.3f", sS.IPC(), sB.IPC())
+	}
+}
+
+// TestDEGBuildDropsNothing: every trace the simulator emits must build into
+// a DEG with zero defensive drops — addEdge's NoStamp/backward guards exist
+// for corrupt traces, and a clean simulator must never trip them. The drop
+// counters made these visible (they used to vanish silently); this pins them
+// at zero so any future simulator regression that emits an unstampable or
+// time-reversed dependence fails here instead of quietly skewing attribution.
+func TestDEGBuildDropsNothing(t *testing.T) {
+	for _, name := range []string{"458.sjeng", "429.mcf", "462.libquantum", "453.povray"} {
+		tr, _ := runWorkload(t, uarch.Baseline(), name, 6000)
+		g, err := deg.Build(tr, deg.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.DroppedNoStamp != 0 || g.DroppedBackward != 0 {
+			t.Fatalf("%s: DEG build dropped edges (no-stamp %d, backward %d)",
+				name, g.DroppedNoStamp, g.DroppedBackward)
+		}
+		if g.ClippedDeps != 0 {
+			t.Fatalf("%s: whole-trace build clipped %d deps", name, g.ClippedDeps)
+		}
 	}
 }
 

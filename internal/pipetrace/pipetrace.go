@@ -144,10 +144,24 @@ func (r *Record) Validate() error {
 // Span returns the instruction's lifetime in cycles (C - F1).
 func (r *Record) Span() int64 { return r.Stamp[SC] - r.Stamp[SF1] }
 
+// HasStage reports whether the stage event occurred (M is absent for
+// non-memory instructions).
+func (r *Record) HasStage(s Stage) bool { return r.Stamp[s] != NoStamp }
+
 // Trace is the microexecution of a whole workload on one design point.
 type Trace struct {
 	Records []Record
 	Cycles  int64 // total simulated cycles (commit time of the last instruction)
+}
+
+// Span returns the wall-clock interval the trace covers: last commit minus
+// first fetch. Zero for an empty trace.
+func (t *Trace) Span() int64 {
+	n := len(t.Records)
+	if n == 0 {
+		return 0
+	}
+	return t.Records[n-1].Stamp[SC] - t.Records[0].Stamp[SF1]
 }
 
 // IPC returns committed instructions per cycle.
