@@ -15,7 +15,7 @@ COVER_MIN_OBS := 85
 COVER_MIN_DSE := 80
 COVER_MIN_FAULT := 90
 
-.PHONY: build vet test race cover fuzz-seeds bench bench-deg ci
+.PHONY: build vet test race cover fuzz-seeds bench bench-deg bench-sim bench-sim-smoke profile-sim ci
 
 build:
 	$(GO) build ./...
@@ -55,4 +55,22 @@ bench:
 bench-deg:
 	$(GO) test -bench='BenchmarkDEG' -benchmem -run XXX .
 
-ci: vet race cover fuzz-seeds
+# Simulator hot path: full-fidelity (pooled, annotated) vs probe-lite runs
+# on the 20k-instruction trace. BENCH_sim.json records the before/after of
+# the allocation-free rewrite; re-run this after touching internal/ooo.
+bench-sim:
+	$(GO) test -bench='BenchmarkSim(Full|Lite)$$' -benchmem -run XXX -count 3 .
+
+# Single-iteration smoke of the simulator benchmarks — catches a broken
+# bench harness in CI without paying for a full measurement run.
+bench-sim-smoke:
+	$(GO) test -bench='BenchmarkSim(Full|Lite)$$' -benchtime=1x -run XXX .
+
+# CPU profile of the full-fidelity simulator benchmark. Inspect with
+#   go tool pprof -top sim.pprof
+#   go tool pprof -http=: sim.pprof
+profile-sim:
+	$(GO) test -bench='BenchmarkSimFull$$' -run XXX -cpuprofile sim.pprof -o sim.test .
+	@echo "wrote sim.pprof (binary: sim.test); try: go tool pprof -top sim.pprof"
+
+ci: vet race cover fuzz-seeds bench-sim-smoke

@@ -141,12 +141,14 @@ func printStages(w io.Writer, spans []*obs.EvalSpan) {
 		return
 	}
 	var trace, sim, power, deg time.Duration
+	var insts int64
 	evals, probes := 0, 0
 	for _, s := range spans {
 		trace += time.Duration(s.TraceNS)
 		sim += time.Duration(s.SimNS)
 		power += time.Duration(s.PowerNS)
 		deg += time.Duration(s.DEGNS)
+		insts += s.SimInsts
 		if s.Probe {
 			probes++
 		} else {
@@ -165,7 +167,13 @@ func printStages(w io.Writer, spans []*obs.EvalSpan) {
 	fmt.Fprintf(w, "  %-10s %12s %6.1f%%\n", "analysis", deg.Round(time.Microsecond), pct(deg))
 	fmt.Fprintf(w, "  %-10s %12s %6.1f%%\n", "power", power.Round(time.Microsecond), pct(power))
 	fmt.Fprintf(w, "  %-10s %12s %6.1f%%\n", "traces", trace.Round(time.Microsecond), pct(trace))
-	fmt.Fprintf(w, "  %-10s %12s\n\n", "total", total.Round(time.Microsecond))
+	fmt.Fprintf(w, "  %-10s %12s\n", "total", total.Round(time.Microsecond))
+	// Older journals carry no sim_insts; keep their reports unchanged.
+	if insts > 0 && sim > 0 {
+		fmt.Fprintf(w, "  simulator throughput: %d insts in %s (%.0f insts/s)\n",
+			insts, sim.Round(time.Microsecond), float64(insts)/sim.Seconds())
+	}
+	fmt.Fprintf(w, "\n")
 }
 
 func printCache(w io.Writer, end *obs.RunEnd) {

@@ -91,11 +91,14 @@ func New(cfg Config) (*Predictor, error) {
 }
 
 // Snapshot captures the speculative predictor state needed to recover from
-// a squash: the global history register and the RAS.
+// a squash: the global history register and the RAS. It is a plain value —
+// the single RAS slot a call overwrites is saved inline rather than in an
+// allocated copy, keeping the predict path allocation-free.
 type Snapshot struct {
 	globalHist uint64
 	rasTop     int
-	rasCopy    []uint64
+	rasSaved   uint64 // RAS slot value overwritten by a call's push
+	rasValid   bool   // rasSaved holds a value to restore
 }
 
 // Hist exposes the global history captured at prediction time; the core
@@ -148,9 +151,8 @@ func (p *Predictor) Predict(pc uint64, kind isa.BranchKind) Prediction {
 		pred.Taken = true
 		pred.Target = p.btbTarget(pc)
 		// Push the return address; wrap like a circular stack.
-		snapSaved := make([]uint64, 1)
-		snapSaved[0] = p.ras[p.rasSlot(p.rasTop)]
-		pred.Snap.rasCopy = snapSaved
+		pred.Snap.rasSaved = p.ras[p.rasSlot(p.rasTop)]
+		pred.Snap.rasValid = true
 		p.ras[p.rasSlot(p.rasTop)] = pc + 4
 		p.rasTop++
 	case isa.BrRet:
@@ -207,8 +209,8 @@ func (p *Predictor) btbTarget(pc uint64) uint64 {
 func (p *Predictor) Recover(snap Snapshot, kind isa.BranchKind, actualTaken bool) {
 	p.globalHist = snap.globalHist
 	p.rasTop = snap.rasTop
-	if len(snap.rasCopy) == 1 {
-		p.ras[p.rasSlot(snap.rasTop)] = snap.rasCopy[0]
+	if snap.rasValid {
+		p.ras[p.rasSlot(snap.rasTop)] = snap.rasSaved
 	}
 	if kind == isa.BrCond {
 		p.globalHist = p.globalHist<<1 | boolBit(actualTaken)

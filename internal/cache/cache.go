@@ -30,19 +30,17 @@ type Config struct {
 	Assoc  int
 }
 
-type set struct {
+// Cache is a set-associative cache with LRU replacement. Way state is
+// stored in flat arrays indexed by set*assoc+way — one allocation per
+// array instead of four slices per set, and a contiguous scan per lookup.
+type Cache struct {
 	tags []uint64
-	// lru[i] is the recency rank of way i (0 = most recent).
+	// lru[base+i] is the recency rank of way i in its set (0 = most recent).
 	lru   []uint8
 	valid []bool
 	// pfTag marks lines installed by the prefetcher and not yet demanded
 	// (tagged prefetching: the first demand hit re-arms the prefetcher).
-	pfTag []bool
-}
-
-// Cache is a set-associative cache with LRU replacement.
-type Cache struct {
-	sets    []set
+	pfTag   []bool
 	assoc   int
 	setMask uint64
 
@@ -64,20 +62,18 @@ func New(cfg Config) (*Cache, error) {
 	if nsets < 1 || nsets&(nsets-1) != 0 {
 		return nil, fmt.Errorf("cache: %dKB/%d-way yields %d sets (must be a power of two >= 1)", cfg.SizeKB, cfg.Assoc, nsets)
 	}
-	c := &Cache{assoc: cfg.Assoc, setMask: uint64(nsets - 1)}
-	c.sets = make([]set, nsets)
-	for i := range c.sets {
-		c.sets[i] = set{
-			tags:  make([]uint64, cfg.Assoc),
-			lru:   make([]uint8, cfg.Assoc),
-			valid: make([]bool, cfg.Assoc),
-			pfTag: make([]bool, cfg.Assoc),
-		}
-		// Recency ranks form a permutation 0..assoc-1; touch preserves
-		// that invariant, so they must start distinct.
-		for w := 0; w < cfg.Assoc; w++ {
-			c.sets[i].lru[w] = uint8(w)
-		}
+	c := &Cache{
+		assoc:   cfg.Assoc,
+		setMask: uint64(nsets - 1),
+		tags:    make([]uint64, nsets*cfg.Assoc),
+		lru:     make([]uint8, nsets*cfg.Assoc),
+		valid:   make([]bool, nsets*cfg.Assoc),
+		pfTag:   make([]bool, nsets*cfg.Assoc),
+	}
+	// Recency ranks form a permutation 0..assoc-1 within each set; touch
+	// preserves that invariant, so they must start distinct.
+	for i := range c.lru {
+		c.lru[i] = uint8(i % cfg.Assoc)
 	}
 	return c, nil
 }
@@ -99,14 +95,14 @@ func (c *Cache) Install(addr uint64) {
 
 func (c *Cache) lookup(addr uint64, isPrefetch bool) (hit bool, way int) {
 	line := addr >> lineShift
-	s := &c.sets[line&c.setMask]
+	base := int(line&c.setMask) * c.assoc
 	tag := line >> 1 // keep set bits out of the tag for compactness
 
 	for w := 0; w < c.assoc; w++ {
-		if s.valid[w] && s.tags[w] == tag {
-			c.touch(s, w)
-			if !isPrefetch && s.pfTag[w] {
-				s.pfTag[w] = false
+		if c.valid[base+w] && c.tags[base+w] == tag {
+			c.touch(base, w)
+			if !isPrefetch && c.pfTag[base+w] {
+				c.pfTag[base+w] = false
 				c.HitOnPrefetch = true
 			}
 			return true, w
@@ -118,30 +114,30 @@ func (c *Cache) lookup(addr uint64, isPrefetch bool) (hit bool, way int) {
 	// Fill the LRU way.
 	victim := 0
 	for w := 0; w < c.assoc; w++ {
-		if !s.valid[w] {
+		if !c.valid[base+w] {
 			victim = w
 			break
 		}
-		if s.lru[w] > s.lru[victim] {
+		if c.lru[base+w] > c.lru[base+victim] {
 			victim = w
 		}
 	}
-	s.valid[victim] = true
-	s.tags[victim] = tag
-	s.pfTag[victim] = isPrefetch
-	c.touch(s, victim)
+	c.valid[base+victim] = true
+	c.tags[base+victim] = tag
+	c.pfTag[base+victim] = isPrefetch
+	c.touch(base, victim)
 	return false, victim
 }
 
-// touch promotes way w to most-recently-used.
-func (c *Cache) touch(s *set, w int) {
-	old := s.lru[w]
+// touch promotes way w of the set at base to most-recently-used.
+func (c *Cache) touch(base, w int) {
+	old := c.lru[base+w]
 	for i := 0; i < c.assoc; i++ {
-		if s.lru[i] < old {
-			s.lru[i]++
+		if c.lru[base+i] < old {
+			c.lru[base+i]++
 		}
 	}
-	s.lru[w] = 0
+	c.lru[base+w] = 0
 }
 
 // MissRate returns misses/accesses, or 0 before any access.
@@ -185,11 +181,14 @@ func (h *Hierarchy) FetchLatency(addr uint64) int {
 		}
 		return L1HitLatency
 	}
-	defer h.prefetch(h.L1I, addr+LineBytes)
-	if h.L2.Access(addr) {
-		return L1HitLatency + L2HitLatency
+	// The demand L2 access must precede the next-line install so the
+	// prefetch cannot perturb this access's hit/miss or LRU outcome.
+	lat := L1HitLatency + L2HitLatency
+	if !h.L2.Access(addr) {
+		lat += DRAMLatency
 	}
-	return L1HitLatency + L2HitLatency + DRAMLatency
+	h.prefetch(h.L1I, addr+LineBytes)
+	return lat
 }
 
 // DataLatency returns the cycles for a data access at addr. Stores use the
@@ -203,11 +202,12 @@ func (h *Hierarchy) DataLatency(addr uint64) int {
 		}
 		return L1HitLatency
 	}
-	defer h.prefetch(h.L1D, addr+LineBytes)
-	if h.L2.Access(addr) {
-		return L1HitLatency + L2HitLatency
+	lat := L1HitLatency + L2HitLatency
+	if !h.L2.Access(addr) {
+		lat += DRAMLatency
 	}
-	return L1HitLatency + L2HitLatency + DRAMLatency
+	h.prefetch(h.L1D, addr+LineBytes)
+	return lat
 }
 
 // prefetch installs a line into l1 and the L2 without perturbing the demand

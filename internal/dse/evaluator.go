@@ -77,6 +77,11 @@ type Evaluation struct {
 	Times   StageTimes
 	Elapsed time.Duration
 
+	// SimInsts is the total number of instructions the simulator committed
+	// across the suite for this evaluation (the numerator of simulator
+	// throughput; zero for replayed or failed evaluations).
+	SimInsts int64
+
 	// DEGWindows and DEGPeakEdges summarize windowed bottleneck analysis
 	// across the suite: total windows analyzed and the largest
 	// single-window graph. Both stay zero on whole-trace runs. DEGDrops
@@ -526,6 +531,7 @@ func (ev *Evaluator) obsCommit(j *job) {
 		DEGWindows:   e.DEGWindows,
 		DEGPeakEdges: e.DEGPeakEdges,
 		DEGDrops:     e.DEGDrops,
+		SimInsts:     e.SimInsts,
 		TraceNS:      e.Times.Trace.Nanoseconds(),
 		SimNS:     e.Times.Sim.Nanoseconds(),
 		PowerNS:   e.Times.Power.Nanoseconds(),
@@ -557,6 +563,7 @@ func (ev *Evaluator) leafGate() func(func()) {
 type wlResult struct {
 	ipc, pow, area float64
 	rep            *deg.Report
+	simInsts       int64
 	degWindows     int
 	degPeakEdges   int
 	degDrops       int64
@@ -650,6 +657,14 @@ func (ev *Evaluator) simWorkload(cfg uarch.Config, wl workload.Profile, traceLen
 			if withDEG {
 				rec.Histogram(obs.MetricStageDEG).Observe(r.times.DEG.Seconds())
 			}
+			// Counters and gauges are unordered aggregates like the ones
+			// above, so the throughput metrics may also land worker-side.
+			if r.simInsts > 0 {
+				rec.Counter(obs.MetricSimInsts).Add(r.simInsts)
+				if s := r.times.Sim.Seconds(); s > 0 {
+					rec.Gauge(obs.MetricSimInstRate).Set(float64(r.simInsts) / s)
+				}
+			}
 		}()
 	}
 
@@ -669,7 +684,16 @@ func (ev *Evaluator) simWorkload(cfg uarch.Config, wl workload.Profile, traceLen
 		if err != nil {
 			return simOutcome{}, err
 		}
-		tr, stats, err := core.Run(stream)
+		// Probe-lite: without bottleneck analysis downstream, nothing reads
+		// the DEG annotations, so skip recording them. Stamps and Stats are
+		// bit-identical either way (pinned by ooo's parity tests).
+		var tr *pipetrace.Trace
+		var stats *ooo.Stats
+		if withDEG {
+			tr, stats, err = core.Run(stream)
+		} else {
+			tr, stats, err = core.RunLite(stream)
+		}
 		if err != nil {
 			return simOutcome{}, fmt.Errorf("dse: %s on %s: %w", wl.Name, cfg, err)
 		}
@@ -684,6 +708,15 @@ func (ev *Evaluator) simWorkload(cfg uarch.Config, wl workload.Profile, traceLen
 		return r
 	}
 	tr, stats := sim.tr, sim.stats
+	r.simInsts = int64(len(tr.Records))
+	// The trace is consumed entirely within this call (warm-window IPC and
+	// the DEG report aggregate; neither escapes holding record references),
+	// so its buffers can recycle through the trace pool — but only when
+	// stage timeouts are off: an abandoned timed-out DEG attempt may still
+	// be reading the trace after we return.
+	if ev.StageTimeout == 0 {
+		defer tr.Release()
+	}
 
 	t0 = time.Now()
 	pw, err := runStage(sr, fault.SitePower, func() (mcpat.Result, error) {
@@ -785,6 +818,7 @@ func (ev *Evaluator) reduce(j *job, probe bool, cfg uarch.Config, outs []wlResul
 			reports = append(reports, outs[k].rep)
 		}
 		e.Times.add(outs[k].times)
+		e.SimInsts += outs[k].simInsts
 		e.DEGWindows += outs[k].degWindows
 		if outs[k].degPeakEdges > e.DEGPeakEdges {
 			e.DEGPeakEdges = outs[k].degPeakEdges

@@ -146,6 +146,7 @@ type evalKey struct {
 	probe          bool
 	simsAt         float64
 	perf, pow, ar  float64
+	simInsts       int64
 }
 
 func deterministicTrace(t *testing.T, events []obs.Event) []any {
@@ -157,6 +158,7 @@ func deterministicTrace(t *testing.T, events []obs.Event) []any {
 			out = append(out, evalKey{
 				span: s.Span, replaces: s.Replaces, config: s.Config,
 				probe: s.Probe, simsAt: s.SimsAt, perf: s.Perf, pow: s.PowerW, ar: s.AreaMM2,
+				simInsts: s.SimInsts,
 			})
 		case *obs.IterEvent:
 			k := iterKey{

@@ -69,6 +69,10 @@ type EvalSpan struct {
 	DEGWindows   int   `json:"deg_windows,omitempty"`
 	DEGPeakEdges int   `json:"deg_peak_edges,omitempty"`
 	DEGDrops     int64 `json:"deg_drops,omitempty"`
+	// SimInsts is the suite-total committed instruction count — with SimNS
+	// it yields simulator throughput. Omitted when zero (replayed spans),
+	// keeping older journals parseable and golden files unchanged.
+	SimInsts int64 `json:"sim_insts,omitempty"`
 	// Durations vary run to run; every other field is deterministic.
 	TraceNS   int64 `json:"trace_ns"`
 	SimNS     int64 `json:"sim_ns"`

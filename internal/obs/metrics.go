@@ -46,6 +46,8 @@ const (
 	MetricStageSim      = "archx_stage_sim_seconds"
 	MetricStagePower    = "archx_stage_power_seconds"
 	MetricStageDEG      = "archx_stage_deg_seconds"
+	MetricSimInsts      = "archx_sim_insts_total"    // instructions committed by the cycle-level simulator
+	MetricSimInstRate   = "archx_sim_insts_per_sec"  // throughput of the most recent simulation (gauge)
 	MetricDEGWindows    = "archx_deg_windows"              // windows of the last windowed analysis (gauge)
 	MetricDEGPeakEdges  = "archx_deg_peak_edges"           // largest single-window edge count (gauge)
 	MetricDEGDrops      = "archx_deg_dropped_edges_total"  // defensively dropped DEG edges (corruption indicator)

@@ -16,21 +16,52 @@ type fuSpec struct {
 	lat       int64
 	pipelined bool
 	res       uarch.Resource
+	valid     bool
 }
 
-var fuTable = map[isa.OpClass]fuSpec{
-	isa.OpIntAlu:  {lat: 1, pipelined: true, res: uarch.ResIntALU},
-	isa.OpBranch:  {lat: 1, pipelined: true, res: uarch.ResIntALU},
-	isa.OpNop:     {lat: 1, pipelined: true, res: uarch.ResIntALU},
-	isa.OpIntMult: {lat: 3, pipelined: true, res: uarch.ResIntMultDiv},
-	isa.OpIntDiv:  {lat: 20, pipelined: false, res: uarch.ResIntMultDiv},
-	isa.OpFpAlu:   {lat: 2, pipelined: true, res: uarch.ResFpALU},
-	isa.OpFpMult:  {lat: 4, pipelined: true, res: uarch.ResFpMultDiv},
-	isa.OpFpDiv:   {lat: 24, pipelined: false, res: uarch.ResFpMultDiv},
+// fuTable maps every isa.OpClass to its functional-unit spec. It is a dense
+// array — one indexed load per instruction on the issue path, no map
+// hashing — and init validates it exhaustively: a missing OpClass used to
+// decay silently to the zero fuSpec (latency 0, non-pipelined, resource
+// ResNone), corrupting timing without any error.
+var fuTable = [isa.NumOpClasses]fuSpec{
+	isa.OpIntAlu:  {lat: 1, pipelined: true, res: uarch.ResIntALU, valid: true},
+	isa.OpBranch:  {lat: 1, pipelined: true, res: uarch.ResIntALU, valid: true},
+	isa.OpNop:     {lat: 1, pipelined: true, res: uarch.ResIntALU, valid: true},
+	isa.OpIntMult: {lat: 3, pipelined: true, res: uarch.ResIntMultDiv, valid: true},
+	isa.OpIntDiv:  {lat: 20, pipelined: false, res: uarch.ResIntMultDiv, valid: true},
+	isa.OpFpAlu:   {lat: 2, pipelined: true, res: uarch.ResFpALU, valid: true},
+	isa.OpFpMult:  {lat: 4, pipelined: true, res: uarch.ResFpMultDiv, valid: true},
+	isa.OpFpDiv:   {lat: 24, pipelined: false, res: uarch.ResFpMultDiv, valid: true},
 	// Loads/stores compute the address on an ALU-like AGU slot modelled
 	// inside the memory path; their fuTable entry covers the AGU.
-	isa.OpLoad:  {lat: 1, pipelined: true, res: uarch.ResIntALU},
-	isa.OpStore: {lat: 1, pipelined: true, res: uarch.ResIntALU},
+	isa.OpLoad:  {lat: 1, pipelined: true, res: uarch.ResIntALU, valid: true},
+	isa.OpStore: {lat: 1, pipelined: true, res: uarch.ResIntALU, valid: true},
+}
+
+func init() {
+	if err := validateFUTable(); err != nil {
+		panic(err)
+	}
+}
+
+// validateFUTable checks that every operation class has a complete
+// functional-unit spec, so a class added to the ISA without a table entry
+// fails at process start instead of simulating with zero latency.
+func validateFUTable() error {
+	for c := 0; c < isa.NumOpClasses; c++ {
+		spec := &fuTable[c]
+		if !spec.valid {
+			return fmt.Errorf("ooo: fuTable is missing OpClass %s", isa.OpClass(c))
+		}
+		if spec.lat < 1 {
+			return fmt.Errorf("ooo: fuTable latency %d for %s must be >= 1", spec.lat, isa.OpClass(c))
+		}
+		if spec.res == uarch.ResNone {
+			return fmt.Errorf("ooo: fuTable entry for %s has no resource", isa.OpClass(c))
+		}
+	}
+	return nil
 }
 
 // redirectPenalty is the front-end refill delay after a misprediction
@@ -83,8 +114,9 @@ type Core struct {
 	rob, iq, lq, sq, fq *capPool
 	intRF, fpRF         *capPool
 
-	// Execution units.
-	fus   map[uarch.Resource]*unitPool
+	// Execution units, indexed densely by uarch.Resource (only the four FU
+	// classes are populated; a map here would hash on every issue).
+	fus   [uarch.NumResources]*unitPool
 	ports *unitPool
 
 	// Register scoreboard: when each architectural register's latest value
@@ -109,6 +141,11 @@ type Core struct {
 	// pendingRedirectSeq is the mispredicted branch whose resolution will
 	// release the stalled front end (-1 when the front end is healthy).
 	pendingRedirectSeq int
+
+	// Per-run recording state: the trace under construction and whether
+	// this run elides the DEG-only annotations (probe-lite).
+	tr   *pipetrace.Trace
+	lite bool
 
 	stats Stats
 }
@@ -158,18 +195,16 @@ func New(cfg uarch.Config) (*Core, error) {
 		intRF:              newCapPool(cfg.IntRF - isa.NumIntArchRegs),
 		fpRF:               newCapPool(cfg.FpRF - isa.NumFpArchRegs),
 		ports:              newUnitPool(cfg.RdWrPorts),
-		storeBuf:           make(map[uint64]storeEntry),
+		storeBuf:           make(map[uint64]storeEntry, 1024),
 		refillFrom:         -1,
 		pendingRedirectSeq: -1,
 		groupDrain:         [2]int64{-1, -1},
-		fus: map[uarch.Resource]*unitPool{
-			uarch.ResIntALU:     newUnitPool(cfg.IntALU),
-			uarch.ResIntMultDiv: newUnitPool(cfg.IntMultDiv),
-			uarch.ResFpALU:      newUnitPool(cfg.FpALU),
-			uarch.ResFpMultDiv:  newUnitPool(cfg.FpMultDiv),
-		},
-		maxGroupSize: cfg.FetchBufBytes / 4,
+		maxGroupSize:       cfg.FetchBufBytes / 4,
 	}
+	c.fus[uarch.ResIntALU] = newUnitPool(cfg.IntALU)
+	c.fus[uarch.ResIntMultDiv] = newUnitPool(cfg.IntMultDiv)
+	c.fus[uarch.ResFpALU] = newUnitPool(cfg.FpALU)
+	c.fus[uarch.ResFpMultDiv] = newUnitPool(cfg.FpMultDiv)
 	for i := range c.intProd {
 		c.intProd[i] = -1
 		c.fpProd[i] = -1
@@ -178,12 +213,36 @@ func New(cfg uarch.Config) (*Core, error) {
 }
 
 // Run simulates the dynamic instruction stream and returns the pipeline
-// trace plus activity statistics.
+// trace plus activity statistics, recording the full set of DEG
+// annotations (resource/FU/port producers, data producers, misprediction
+// refill sources).
+//
+// Run never mutates the stream: workload.CachedTrace shares one memoised
+// slice across every concurrent evaluation, so the stream is read-only by
+// contract. The returned trace draws its record storage from a process-
+// wide pool; callers that finish with it may hand it back via
+// (*pipetrace.Trace).Release, and callers that keep it simply never do.
 func (c *Core) Run(stream []isa.Inst) (*pipetrace.Trace, *Stats, error) {
+	return c.run(stream, false)
+}
+
+// RunLite is Run in probe-lite mode: every stage stamp, latency, and Stats
+// counter is byte-identical to Run, but the DEG-only metadata — resource/
+// FU/port producer annotations, data producers, and misprediction refill
+// sources — is elided. Evaluations that never build a dependence graph
+// (plain PPA evaluations, baseline explorers) use it to skip the
+// annotation interning entirely.
+func (c *Core) RunLite(stream []isa.Inst) (*pipetrace.Trace, *Stats, error) {
+	return c.run(stream, true)
+}
+
+func (c *Core) run(stream []isa.Inst, lite bool) (*pipetrace.Trace, *Stats, error) {
 	if len(stream) == 0 {
 		return nil, nil, fmt.Errorf("ooo: empty instruction stream")
 	}
-	tr := &pipetrace.Trace{Records: make([]pipetrace.Record, 0, len(stream))}
+	tr := pipetrace.GetTrace(len(stream))
+	c.tr = tr
+	c.lite = lite
 
 	for seq := range stream {
 		in := &stream[seq]
@@ -196,9 +255,10 @@ func (c *Core) Run(stream []isa.Inst) (*pipetrace.Trace, *Stats, error) {
 		c.commit(in, &rec)
 
 		tr.Records = append(tr.Records, rec)
-		c.stats.Fetched++
-		c.stats.Committed++
 	}
+	c.tr = nil
+	c.stats.Fetched += uint64(len(stream))
+	c.stats.Committed += uint64(len(stream))
 	tr.Cycles = c.lastC + 1 // cycles are 0-based stamps
 	c.stats.Cycles = tr.Cycles
 	c.stats.ICacheAccesses = c.hier.L1I.Accesses
@@ -220,7 +280,7 @@ func (c *Core) fetch(in *isa.Inst, rec *pipetrace.Record) {
 		// FetchBufBytes of straight-line instructions. At most two groups
 		// are in flight: a group may not start before the group two back
 		// has drained into the fetch queue.
-		f1 := maxI64(c.nextFetch, c.groupDrain[0]+1)
+		f1 := max(c.nextFetch, c.groupDrain[0]+1)
 		c.groupDrain[0] = c.groupDrain[1]
 		lat := int64(c.hier.FetchLatency(in.PC))
 		c.groupF1 = f1
@@ -229,7 +289,9 @@ func (c *Core) fetch(in *isa.Inst, rec *pipetrace.Record) {
 		c.groupLeft = c.maxGroupSize
 		c.stats.FetchGroups++
 		if c.refillFrom >= 0 {
-			rec.MispredictFrom = c.refillFrom
+			if !c.lite {
+				rec.MispredictFrom = c.refillFrom
+			}
 			c.refillFrom = -1
 		}
 	}
@@ -241,7 +303,7 @@ func (c *Core) fetch(in *isa.Inst, rec *pipetrace.Record) {
 
 	// F: copy into the fetch queue — fetch width and FQ capacity apply.
 	fqAt, _ := c.fq.alloc()
-	fAt := maxI64(c.groupF2, fqAt, c.lastF)
+	fAt := max(c.groupF2, fqAt, c.lastF)
 	f := c.fetchBW.book(fAt)
 	rec.Stamp[pipetrace.SF] = f
 	c.lastF = f
@@ -276,7 +338,7 @@ func (c *Core) fetch(in *isa.Inst, rec *pipetrace.Record) {
 
 // decode resolves DC and frees the fetch-queue entry.
 func (c *Core) decode(rec *pipetrace.Record) {
-	dc := c.decodeBW.book(maxI64(rec.Stamp[pipetrace.SF]+1, c.lastDC))
+	dc := c.decodeBW.book(max(rec.Stamp[pipetrace.SF]+1, c.lastDC))
 	rec.Stamp[pipetrace.SDC] = dc
 	c.lastDC = dc
 	c.fq.free(dc+1, rec.Seq)
@@ -286,37 +348,54 @@ func (c *Core) decode(rec *pipetrace.Record) {
 // back-end structure the instruction needs, recording which producer's
 // release unblocked each stall (the paper's rename-to-rename edges).
 func (c *Core) rename(in *isa.Inst, rec *pipetrace.Record) {
-	base := maxI64(rec.Stamp[pipetrace.SDC]+1, c.lastR)
+	base := max(rec.Stamp[pipetrace.SDC]+1, c.lastR)
 	ready := base
 
+	// The structures this instruction allocates, gathered into a fixed
+	// stack buffer (at most ROB + IQ + LQ/SQ + one rename file).
 	type want struct {
 		pool *capPool
 		res  uarch.Resource
 	}
-	wants := []want{{c.rob, uarch.ResROB}, {c.iq, uarch.ResIQ}}
+	var wants [4]want
+	wants[0] = want{c.rob, uarch.ResROB}
+	wants[1] = want{c.iq, uarch.ResIQ}
+	n := 2
 	switch in.Class {
 	case isa.OpLoad:
-		wants = append(wants, want{c.lq, uarch.ResLQ})
+		wants[n] = want{c.lq, uarch.ResLQ}
+		n++
 	case isa.OpStore:
-		wants = append(wants, want{c.sq, uarch.ResSQ})
+		wants[n] = want{c.sq, uarch.ResSQ}
+		n++
 	}
 	if in.HasDest() {
 		if in.Dest.Float {
-			wants = append(wants, want{c.fpRF, uarch.ResFpRF})
+			wants[n] = want{c.fpRF, uarch.ResFpRF}
 		} else {
-			wants = append(wants, want{c.intRF, uarch.ResIntRF})
+			wants[n] = want{c.intRF, uarch.ResIntRF}
 		}
+		n++
 	}
-	for _, w := range wants {
+
+	// Deps are staged in a stack buffer and interned into the trace arena
+	// in one shot — no per-record slice allocation.
+	var depBuf [4]pipetrace.ResourceDep
+	deps := 0
+	for i := 0; i < n; i++ {
+		w := wants[i]
 		t, owner := w.pool.alloc()
 		if t > base && owner >= 0 {
-			rec.ResourceDeps = append(rec.ResourceDeps, pipetrace.ResourceDep{
-				Resource: w.res,
-				Producer: owner,
-			})
+			if !c.lite {
+				depBuf[deps] = pipetrace.ResourceDep{Resource: w.res, Producer: owner}
+				deps++
+			}
 			c.stats.RenameStalls[w.res]++
 		}
-		ready = maxI64(ready, t)
+		ready = max(ready, t)
+	}
+	if deps > 0 {
+		rec.ResourceDeps = c.tr.InternDeps(depBuf[:deps])
 	}
 
 	r := c.renameBW.book(ready)
@@ -324,7 +403,7 @@ func (c *Core) rename(in *isa.Inst, rec *pipetrace.Record) {
 	c.lastR = r
 	c.stats.RenameOps++
 
-	dp := c.dispatchBW.book(maxI64(r+1, c.lastDP))
+	dp := c.dispatchBW.book(max(r+1, c.lastDP))
 	rec.Stamp[pipetrace.SDP] = dp
 	c.lastDP = dp
 }
@@ -335,8 +414,15 @@ func (c *Core) schedule(in *isa.Inst, rec *pipetrace.Record) {
 	dp := rec.Stamp[pipetrace.SDP]
 	base := dp + 1
 
-	// Operand readiness (true data dependence).
-	for _, src := range []isa.Reg{in.Src1, in.Src2} {
+	// Operand readiness (true data dependence), both sources unrolled into
+	// a stack buffer.
+	var prodBuf [2]int
+	prods := 0
+	for s := 0; s < 2; s++ {
+		src := in.Src1
+		if s == 1 {
+			src = in.Src2
+		}
 		if !src.Valid() || src.IsZero() {
 			continue
 		}
@@ -347,20 +433,25 @@ func (c *Core) schedule(in *isa.Inst, rec *pipetrace.Record) {
 		} else {
 			t, prod = c.intReady[src.Index], c.intProd[src.Index]
 		}
-		if t > base && prod >= 0 {
-			rec.DataProducers = append(rec.DataProducers, prod)
+		if t > base && prod >= 0 && !c.lite {
+			prodBuf[prods] = prod
+			prods++
 		}
-		base = maxI64(base, t)
+		base = max(base, t)
+	}
+	if prods > 0 {
+		rec.DataProducers = c.tr.InternProducers(prodBuf[:prods])
 	}
 
 	// Functional unit.
-	spec := fuTable[in.Class]
+	spec := &fuTable[in.Class]
 	occ := int64(1)
 	if !spec.pipelined {
 		occ = spec.lat
 	}
-	fuStart, fuUnit, fuPrev := c.fus[spec.res].acquire(base, occ, rec.Seq)
-	if fuStart > base && fuPrev >= 0 {
+	fu := c.fus[spec.res]
+	fuStart, fuUnit, fuPrev := fu.acquire(base, occ, rec.Seq)
+	if fuStart > base && fuPrev >= 0 && !c.lite {
 		rec.FUProducer = fuPrev
 		rec.FURes = spec.res
 	}
@@ -370,7 +461,7 @@ func (c *Core) schedule(in *isa.Inst, rec *pipetrace.Record) {
 	portUnit := -1
 	if in.Class == isa.OpLoad {
 		pStart, pu, pPrev := c.ports.acquire(issueAt, 1, rec.Seq)
-		if pStart > issueAt && pPrev >= 0 {
+		if pStart > issueAt && pPrev >= 0 && !c.lite {
 			rec.PortProducer = pPrev
 		}
 		issueAt = pStart
@@ -381,7 +472,7 @@ func (c *Core) schedule(in *isa.Inst, rec *pipetrace.Record) {
 	// Rebook the unit (and port) at the true issue cycle so later
 	// consumers' producer annotations stay causally ordered.
 	if iss != fuStart {
-		c.fus[spec.res].adjust(fuUnit, iss, occ)
+		fu.adjust(fuUnit, iss, occ)
 	}
 	if portUnit >= 0 && iss != issueAt {
 		c.ports.adjust(portUnit, iss, 1)
@@ -401,7 +492,7 @@ func (c *Core) schedule(in *isa.Inst, rec *pipetrace.Record) {
 		if se, ok := c.storeBuf[addr]; ok && se.commit > m {
 			// Store-to-load forwarding from the SQ.
 			c.stats.StoreForwards++
-			done = maxI64(m, se.pReady) + 1
+			done = max(m, se.pReady) + 1
 			rec.DCacheLat = done - m
 		} else {
 			lat := int64(c.hier.DataLatency(in.Addr))
@@ -444,7 +535,7 @@ func (c *Core) schedule(in *isa.Inst, rec *pipetrace.Record) {
 // LQ entry, the previous mapping of the destination register, and (after
 // the drain) the SQ entry.
 func (c *Core) commit(in *isa.Inst, rec *pipetrace.Record) {
-	cc := c.commitBW.book(maxI64(rec.Stamp[pipetrace.SP]+1, c.lastC))
+	cc := c.commitBW.book(max(rec.Stamp[pipetrace.SP]+1, c.lastC))
 	rec.Stamp[pipetrace.SC] = cc
 	c.lastC = cc
 
@@ -471,14 +562,4 @@ func (c *Core) commit(in *isa.Inst, rec *pipetrace.Record) {
 			commit: drain + lat,
 		}
 	}
-}
-
-func maxI64(vs ...int64) int64 {
-	m := vs[0]
-	for _, v := range vs[1:] {
-		if v > m {
-			m = v
-		}
-	}
-	return m
 }

@@ -1,0 +1,56 @@
+package ooo
+
+import (
+	"testing"
+
+	"archexplorer/internal/isa"
+	"archexplorer/internal/uarch"
+)
+
+// TestFUTableCoversEveryOpClass enumerates the full OpClass space and
+// requires a complete, sane spec for each — the init-time guard against the
+// old silent zero-latency fallback, exercised as a test so a new class shows
+// up as a red test even if someone removes the init check.
+func TestFUTableCoversEveryOpClass(t *testing.T) {
+	for c := 0; c < isa.NumOpClasses; c++ {
+		cls := isa.OpClass(c)
+		spec := fuTable[c]
+		if !spec.valid {
+			t.Errorf("%s: no fuTable entry", cls)
+			continue
+		}
+		if spec.lat < 1 {
+			t.Errorf("%s: latency %d must be >= 1", cls, spec.lat)
+		}
+		if spec.res == uarch.ResNone || int(spec.res) >= uarch.NumResources {
+			t.Errorf("%s: resource %d out of range", cls, spec.res)
+		}
+		if !spec.pipelined && spec.lat == 1 {
+			t.Errorf("%s: single-cycle units must be pipelined", cls)
+		}
+	}
+}
+
+// TestValidateFUTableRejectsIncomplete checks the validator actually fires
+// on the failure modes it exists for, by probing a doctored copy.
+func TestValidateFUTableRejectsIncomplete(t *testing.T) {
+	saved := fuTable
+	defer func() { fuTable = saved }()
+
+	fuTable[isa.OpFpDiv].valid = false
+	if err := validateFUTable(); err == nil {
+		t.Error("missing entry not rejected")
+	}
+	fuTable = saved
+
+	fuTable[isa.OpIntAlu].lat = 0
+	if err := validateFUTable(); err == nil {
+		t.Error("zero latency not rejected")
+	}
+	fuTable = saved
+
+	fuTable[isa.OpLoad].res = uarch.ResNone
+	if err := validateFUTable(); err == nil {
+		t.Error("missing resource not rejected")
+	}
+}

@@ -19,26 +19,48 @@
 // understates misprediction cost but preserves its critical-path structure.
 package ooo
 
-import "container/heap"
-
 // freeEvent is one resource entry becoming available.
 type freeEvent struct {
 	time  int64 // cycle at which the entry is usable again
 	owner int   // sequence number of the releasing instruction
 }
 
+// eventHeap is a binary min-heap over freeEvent (ordered by time), operated
+// directly on the slice. The sift routines transcribe container/heap's
+// up/down exactly — including tie handling between equal times — so the
+// entry popped for any sequence of operations is identical to the previous
+// interface-based implementation, keeping producer annotations bit-exact
+// while eliminating the per-operation interface{} boxing allocation.
 type eventHeap []freeEvent
 
-func (h eventHeap) Len() int            { return len(h) }
-func (h eventHeap) Less(i, j int) bool  { return h[i].time < h[j].time }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(freeEvent)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
+func (h eventHeap) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !(h[j].time < h[i].time) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (h eventHeap) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && h[j2].time < h[j1].time {
+			j = j2 // = 2*i + 2, right child
+		}
+		if !(h[j].time < h[i].time) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
 }
 
 // capPool models a capacity-constrained structure (ROB, IQ, LQ, SQ, rename
@@ -61,13 +83,19 @@ func (p *capPool) alloc() (int64, int) {
 	if len(p.h) < p.capacity {
 		return 0, -1
 	}
-	ev := heap.Pop(&p.h).(freeEvent)
+	h := p.h
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	h.down(0, n)
+	ev := h[n]
+	p.h = h[:n]
 	return ev.time, ev.owner
 }
 
 // free registers that owner releases one entry at time t.
 func (p *capPool) free(t int64, owner int) {
-	heap.Push(&p.h, freeEvent{time: t, owner: owner})
+	p.h = append(p.h, freeEvent{time: t, owner: owner})
+	p.h.up(len(p.h) - 1)
 }
 
 // unitPool models a small bank of execution units (ALUs, dividers, cache

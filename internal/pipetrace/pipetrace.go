@@ -149,9 +149,59 @@ func (r *Record) Span() int64 { return r.Stamp[SC] - r.Stamp[SF1] }
 func (r *Record) HasStage(s Stage) bool { return r.Stamp[s] != NoStamp }
 
 // Trace is the microexecution of a whole workload on one design point.
+//
+// A Trace owns arena storage for its records' annotation slices
+// (ResourceDeps, DataProducers): the simulator interns each record's
+// annotations into the arena instead of allocating one slice per record,
+// and Release recycles the whole bundle — records and arenas — through the
+// trace pool for the next run of the same length.
 type Trace struct {
 	Records []Record
 	Cycles  int64 // total simulated cycles (commit time of the last instruction)
+
+	// Arena backing for the records' annotation slices. Records hold
+	// three-index subslices of these, so the arenas live exactly as long
+	// as the records that point into them.
+	deps  []ResourceDep
+	prods []int
+}
+
+// InternDeps copies a record's resource dependences into the trace-owned
+// arena and returns a stable full-capacity subslice (nil for no deps). The
+// returned slice is content-identical to an independently allocated copy;
+// only its backing storage is shared with the trace.
+func (t *Trace) InternDeps(src []ResourceDep) []ResourceDep {
+	if len(src) == 0 {
+		return nil
+	}
+	if cap(t.deps)-len(t.deps) < len(src) {
+		c := 2 * cap(t.deps)
+		if c < 1024 {
+			c = 1024
+		}
+		// The retired chunk stays referenced by earlier records.
+		t.deps = make([]ResourceDep, 0, c)
+	}
+	start := len(t.deps)
+	t.deps = append(t.deps, src...)
+	return t.deps[start:len(t.deps):len(t.deps)]
+}
+
+// InternProducers is InternDeps for data-producer sequence numbers.
+func (t *Trace) InternProducers(src []int) []int {
+	if len(src) == 0 {
+		return nil
+	}
+	if cap(t.prods)-len(t.prods) < len(src) {
+		c := 2 * cap(t.prods)
+		if c < 1024 {
+			c = 1024
+		}
+		t.prods = make([]int, 0, c)
+	}
+	start := len(t.prods)
+	t.prods = append(t.prods, src...)
+	return t.prods[start:len(t.prods):len(t.prods)]
 }
 
 // Span returns the wall-clock interval the trace covers: last commit minus

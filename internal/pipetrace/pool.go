@@ -1,0 +1,42 @@
+package pipetrace
+
+import "sync"
+
+// tracePool recycles Trace buffers — the records array plus the annotation
+// arenas — across simulator runs. Repeated evaluations of the same trace
+// length (the DSE loop's steady state) then run allocation-free in the
+// record path: the pool mirrors the DEG stage's buffer pools from the
+// windowed analyzer.
+var tracePool sync.Pool
+
+// GetTrace returns an empty trace whose record storage can hold at least
+// capacity records without growing, reusing a released trace when one is
+// available. Callers that finish with the trace — and can prove no other
+// goroutine still reads it — should hand it back with Release; callers that
+// keep the trace alive simply never release it, and the pool stays out of
+// the picture.
+func GetTrace(capacity int) *Trace {
+	if v := tracePool.Get(); v != nil {
+		t := v.(*Trace)
+		if cap(t.Records) < capacity {
+			t.Records = make([]Record, 0, capacity)
+		}
+		return t
+	}
+	return &Trace{Records: make([]Record, 0, capacity)}
+}
+
+// Release resets the trace and returns its storage to the pool. The caller
+// must not touch the trace — or any Record or annotation slice obtained
+// from it — after Release: the next GetTrace may hand the same backing
+// storage to a concurrent simulation.
+func (t *Trace) Release() {
+	if t == nil {
+		return
+	}
+	t.Records = t.Records[:0]
+	t.Cycles = 0
+	t.deps = t.deps[:0]
+	t.prods = t.prods[:0]
+	tracePool.Put(t)
+}

@@ -107,10 +107,19 @@ type traceEntry struct {
 	err  error
 }
 
-// CachedTrace is Trace with process-wide memoisation; the returned slice is
-// shared and must not be modified. It is safe for concurrent use: parallel
-// evaluations of the same (workload, length) pair generate the trace
-// exactly once and share the result.
+// CachedTrace is Trace with process-wide memoisation. It is safe for
+// concurrent use: parallel evaluations of the same (workload, length) pair
+// generate the trace exactly once and share the result.
+//
+// Immutability contract: the returned slice is the cache's single backing
+// array, handed simultaneously to every caller — concurrent evaluator
+// workers simulate from it while other goroutines read it. Callers must
+// treat both the slice and its elements as strictly read-only; a consumer
+// that needs scratch per-instruction state must keep it in parallel storage
+// of its own (the ooo core keeps per-instruction state in its own records
+// and is pinned read-only by TestRunDoesNotMutateSharedStream). Mutating an
+// element here is a data race AND silently corrupts every later simulation
+// of the same (workload, length) pair, cached-forever.
 func CachedTrace(p Profile, n int) ([]isa.Inst, error) {
 	v, _ := traceCache.LoadOrStore(traceKey{p.Name, n}, &traceEntry{})
 	e := v.(*traceEntry)
