@@ -15,7 +15,7 @@ COVER_MIN_OBS := 85
 COVER_MIN_DSE := 80
 COVER_MIN_FAULT := 90
 
-.PHONY: build vet test race cover fuzz-seeds bench bench-deg bench-sim bench-sim-smoke profile-sim ci
+.PHONY: build vet test race cover fuzz-seeds bench bench-deg bench-sim bench-sim-smoke bench-pipeline bench-pipeline-smoke bench-all profile-sim ci
 
 build:
 	$(GO) build ./...
@@ -66,6 +66,33 @@ bench-sim:
 bench-sim-smoke:
 	$(GO) test -bench='BenchmarkSim(Full|Lite)$$' -benchtime=1x -run XXX .
 
+# Buffered (Run + AnalyzeWindowed) vs fused streaming (RunStream +
+# StreamAnalyzer) sim→DEG pipeline on the 20k-instruction trace.
+# BENCH_pipeline.json records the before/after, including the 1M-instruction
+# live-heap measurements from the Large variants (run those with
+# -benchtime=1x; they dominate wall-clock otherwise).
+bench-pipeline:
+	$(GO) test -bench='BenchmarkPipeline(Buffered|Stream)$$' -benchmem -run XXX -count 3 .
+
+# Single-iteration smoke of the pipeline benchmarks for CI: exercises the
+# fused streaming path end to end without paying for a measurement run.
+bench-pipeline-smoke:
+	$(GO) test -bench='BenchmarkPipeline(Buffered|Stream)$$' -benchtime=1x -run XXX .
+
+# Every benchmark family, gated against the committed baselines: fails if
+# simulator or pipeline throughput lands more than 10% below what
+# BENCH_sim.json / BENCH_pipeline.json record for the reference host.
+# Re-baseline (re-run bench-sim / bench-pipeline and update the JSONs)
+# when a deliberate change moves the numbers.
+bench-all:
+	$(GO) build -o benchgate ./cmd/benchgate
+	$(GO) test -bench='BenchmarkSim(Full|Lite)$$|BenchmarkDEG|BenchmarkPipeline(Buffered|Stream)$$' -benchmem -run XXX -count 1 . | \
+	  ./benchgate -tolerance 0.10 \
+	    -expect 'BenchmarkSimFull=BENCH_sim.json:after_full.inst_per_sec' \
+	    -expect 'BenchmarkSimLite=BENCH_sim.json:after_lite.inst_per_sec' \
+	    -expect 'BenchmarkPipelineBuffered=BENCH_pipeline.json:before.inst_per_sec' \
+	    -expect 'BenchmarkPipelineStream=BENCH_pipeline.json:after.inst_per_sec'
+
 # CPU profile of the full-fidelity simulator benchmark. Inspect with
 #   go tool pprof -top sim.pprof
 #   go tool pprof -http=: sim.pprof
@@ -73,4 +100,7 @@ profile-sim:
 	$(GO) test -bench='BenchmarkSimFull$$' -run XXX -cpuprofile sim.pprof -o sim.test .
 	@echo "wrote sim.pprof (binary: sim.test); try: go tool pprof -top sim.pprof"
 
-ci: vet race cover fuzz-seeds bench-sim-smoke
+# The alloc gate on the streaming hot path (internal/deg
+# TestStreamAllocsBounded) runs inside `cover`'s non-race test pass; the
+# bench smokes keep both bench harnesses compiling and running.
+ci: vet race cover fuzz-seeds bench-sim-smoke bench-pipeline-smoke

@@ -1,0 +1,166 @@
+// Sim→DEG pipeline benchmarks: the bench-pipeline Makefile target runs
+// exactly these. BenchmarkPipelineBuffered measures the classic two-phase
+// flow — materialize the full trace, then run the windowed analysis over
+// it — while BenchmarkPipelineStream measures the fused flow, where the
+// simulator's chunks feed the StreamAnalyzer directly and no full trace
+// ever exists. Both produce bit-identical reports (pinned by
+// internal/deg's stream parity tests); the difference is peak memory and
+// the overlap of simulation with analysis. BENCH_pipeline.json records
+// the before/after numbers, including the live-heap measurements from the
+// Large variants.
+//
+//	make bench-pipeline   # 20k-instruction throughput benchmarks, -benchmem
+//	make bench-all        # every bench family, gated against BENCH_*.json
+package archexplorer
+
+import (
+	"runtime"
+	"testing"
+
+	"archexplorer/internal/deg"
+	"archexplorer/internal/isa"
+	"archexplorer/internal/ooo"
+	"archexplorer/internal/pipetrace"
+	"archexplorer/internal/uarch"
+	"archexplorer/internal/workload"
+)
+
+// pipelineWindow matches the evaluator's default windowed-analysis
+// configuration closely enough to be representative: 2000-instruction
+// windows with the ROB-derived margin.
+const pipelineWindow = 2000
+
+func pipelineStream(b *testing.B, n int) []isa.Inst {
+	b.Helper()
+	p, err := workload.ByName("458.sjeng")
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream, err := workload.CachedTrace(p, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return stream
+}
+
+func runBuffered(b *testing.B, cfg uarch.Config, stream []isa.Inst) *pipetrace.Trace {
+	b.Helper()
+	core, err := ooo.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, _, err := core.Run(stream)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := deg.AnalyzeWindowed(tr, deg.WindowOptions{
+		Window: pipelineWindow, ReorderWindow: cfg.ROBEntries,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+func runStreamed(b *testing.B, cfg uarch.Config, stream []isa.Inst, probe func(sa *deg.StreamAnalyzer)) {
+	b.Helper()
+	core, err := ooo.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sa, err := deg.NewStreamAnalyzer(deg.WindowOptions{
+		Window: pipelineWindow, ReorderWindow: cfg.ROBEntries,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fed := 0
+	stats, err := core.RunStream(stream, 0, func(c *pipetrace.Chunk) error {
+		err := sa.Feed(c)
+		if probe != nil {
+			fed += len(c.Records)
+			if fed >= len(stream)/2 {
+				probe(sa)
+				probe = nil
+			}
+		}
+		return err
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := sa.Finish(stats.Cycles); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkPipelineBuffered: simulate to a pooled full trace, then run the
+// windowed DEG analysis over it. Peak memory holds the whole trace plus
+// one window's graph.
+func BenchmarkPipelineBuffered(b *testing.B) {
+	stream := pipelineStream(b, 20000)
+	cfg := uarch.Baseline()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runBuffered(b, cfg, stream).Release()
+	}
+	b.ReportMetric(float64(len(stream))*float64(b.N)/b.Elapsed().Seconds(), "inst/s")
+}
+
+// BenchmarkPipelineStream: the fused sim→DEG flow over the same trace.
+// Peak memory holds only the analyzer's window+margin working set of
+// records, never the full trace.
+func BenchmarkPipelineStream(b *testing.B) {
+	stream := pipelineStream(b, 20000)
+	cfg := uarch.Baseline()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runStreamed(b, cfg, stream, nil)
+	}
+	b.ReportMetric(float64(len(stream))*float64(b.N)/b.Elapsed().Seconds(), "inst/s")
+}
+
+// liveHeap forces a collection and returns the live heap, the number the
+// Large variants report to evidence the O(window+margin) bound.
+func liveHeap() float64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return float64(ms.HeapAlloc)
+}
+
+// BenchmarkPipelineBufferedLarge measures live heap on a 1M-instruction
+// trace at the buffered pipeline's peak — trace fully materialized,
+// analysis done, trace not yet released. Run with -benchtime=1x.
+func BenchmarkPipelineBufferedLarge(b *testing.B) {
+	stream := pipelineStream(b, 1_000_000)
+	cfg := uarch.Baseline()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := runBuffered(b, cfg, stream)
+		b.StopTimer()
+		b.ReportMetric(liveHeap(), "live-heap-bytes")
+		b.StartTimer()
+		tr.Release()
+	}
+	b.ReportMetric(float64(len(stream))*float64(b.N)/b.Elapsed().Seconds(), "inst/s")
+}
+
+// BenchmarkPipelineStreamLarge is the fused flow over the same
+// 1M-instruction trace; live heap is sampled mid-stream, where the
+// analyzer's buffer is at its steady-state window+margin size. The peak
+// buffered record count is reported alongside so the memory bound
+// (window + 2·overlap + chunk − 1 records) is checkable from the output.
+func BenchmarkPipelineStreamLarge(b *testing.B) {
+	stream := pipelineStream(b, 1_000_000)
+	cfg := uarch.Baseline()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runStreamed(b, cfg, stream, func(sa *deg.StreamAnalyzer) {
+			b.StopTimer()
+			b.ReportMetric(liveHeap(), "live-heap-bytes")
+			b.ReportMetric(float64(sa.PeakBufferedRecords()), "peak-buffered-records")
+			b.StartTimer()
+		})
+	}
+	b.ReportMetric(float64(len(stream))*float64(b.N)/b.Elapsed().Seconds(), "inst/s")
+}

@@ -1,0 +1,149 @@
+// Command benchgate compares `go test -bench` output against committed
+// BENCH_*.json baselines and fails when throughput regresses beyond a
+// tolerance. It is the teeth behind `make bench-all`: the baselines record
+// what the optimized pipeline achieved on the reference host, and a >10%
+// drop in inst/s on the same host means a hot-path regression slipped in.
+//
+// Usage:
+//
+//	go test -bench '...' -benchmem -run XXX . | \
+//	    benchgate -tolerance 0.10 \
+//	        -expect 'BenchmarkSimFull=BENCH_sim.json:after_full.inst_per_sec' \
+//	        -expect 'BenchmarkPipelineStream=BENCH_pipeline.json:after.inst_per_sec'
+//
+// Each -expect maps a benchmark name (suffixes like -8 are ignored) to a
+// dotted path into a baseline JSON file; the addressed value is the
+// baseline inst/s. Benchmarks in the output without an -expect mapping are
+// ignored; a mapped benchmark missing from the output is an error, so a
+// renamed or deleted benchmark cannot silently drop out of the gate.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type expectList []string
+
+func (e *expectList) String() string     { return strings.Join(*e, ",") }
+func (e *expectList) Set(s string) error { *e = append(*e, s); return nil }
+
+func main() {
+	var (
+		expects   expectList
+		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional throughput drop before failing")
+		metric    = flag.String("metric", "inst/s", "benchmark metric unit to gate on")
+	)
+	flag.Var(&expects, "expect", "Bench=file.json:dotted.path mapping (repeatable)")
+	flag.Parse()
+	if len(expects) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no -expect mappings given")
+		os.Exit(2)
+	}
+
+	measured, err := parseBench(os.Stdin, *metric)
+	check(err)
+
+	failed := false
+	for _, e := range expects {
+		name, ref, ok := strings.Cut(e, "=")
+		if !ok {
+			check(fmt.Errorf("malformed -expect %q (want Bench=file.json:path)", e))
+		}
+		baseline, err := lookupBaseline(ref)
+		check(err)
+		got, ok := measured[name]
+		if !ok {
+			check(fmt.Errorf("benchmark %s not found in input (stale -expect or renamed benchmark?)", name))
+		}
+		floor := baseline * (1 - *tolerance)
+		status := "ok"
+		if got < floor {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%-34s %12.0f %s  baseline %12.0f  floor %12.0f  %s\n",
+			name, got, *metric, baseline, floor, status)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchgate: throughput regressed more than %.0f%% below baseline\n", *tolerance*100)
+		os.Exit(1)
+	}
+}
+
+// parseBench extracts the named metric from `go test -bench` output lines:
+// a value token immediately followed by the metric's unit token. The
+// benchmark name is the first field with any -<GOMAXPROCS> suffix removed.
+func parseBench(r *os.File, metric string) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the raw output through for the log
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		for i := 1; i+1 < len(fields); i++ {
+			if fields[i+1] != metric {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad %s value in %q: %v", metric, line, err)
+			}
+			out[name] = v
+		}
+	}
+	return out, sc.Err()
+}
+
+// lookupBaseline resolves "file.json:dotted.path" to a number inside the
+// baseline file.
+func lookupBaseline(ref string) (float64, error) {
+	file, path, ok := strings.Cut(ref, ":")
+	if !ok {
+		return 0, fmt.Errorf("malformed baseline ref %q (want file.json:dotted.path)", ref)
+	}
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		return 0, err
+	}
+	var doc any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return 0, fmt.Errorf("%s: %v", file, err)
+	}
+	cur := doc
+	for _, key := range strings.Split(path, ".") {
+		m, ok := cur.(map[string]any)
+		if !ok {
+			return 0, fmt.Errorf("%s: %q is not an object", file, path)
+		}
+		if cur, ok = m[key]; !ok {
+			return 0, fmt.Errorf("%s: no field %q in path %q", file, key, path)
+		}
+	}
+	v, ok := cur.(float64)
+	if !ok {
+		return 0, fmt.Errorf("%s: %q is not a number", file, path)
+	}
+	return v, nil
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+}

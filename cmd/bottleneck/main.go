@@ -19,6 +19,7 @@ import (
 	"archexplorer/internal/mcpat"
 	"archexplorer/internal/obs"
 	"archexplorer/internal/ooo"
+	"archexplorer/internal/pipetrace"
 	"archexplorer/internal/uarch"
 	"archexplorer/internal/workload"
 )
@@ -51,8 +52,8 @@ func main() {
 	if err := cfg.Validate(); err != nil {
 		cli.Usagef("%v", err)
 	}
-	if *dotOut != "" && degf.Window > 0 {
-		cli.Usagef("-dot needs the whole-trace graph; drop -deg-window")
+	if *dotOut != "" && (degf.Window > 0 || degf.Stream) {
+		cli.Usagef("-dot needs the whole-trace graph; drop -deg-window/-deg-stream")
 	}
 
 	profiles := []workload.Profile{}
@@ -77,6 +78,7 @@ func main() {
 	var reports []*deg.Report
 	for _, p := range profiles {
 		var times [4]time.Duration // trace, sim, power, deg
+		var streamDur time.Duration
 		t0 := time.Now()
 		stream, err := workload.CachedTrace(p, *n)
 		cli.Check(err)
@@ -84,51 +86,82 @@ func main() {
 
 		core, err := ooo.New(cfg)
 		cli.Check(err)
-		t0 = time.Now()
-		tr, stats, err := core.Run(stream)
-		cli.Check(err)
-		times[1] = time.Since(t0)
 
-		t0 = time.Now()
-		pw, err := mcpat.Evaluate(cfg, stats)
-		cli.Check(err)
-		times[2] = time.Since(t0)
-
-		t0 = time.Now()
+		var stats *ooo.Stats
 		var rep *deg.Report
 		var g *deg.Graph
 		var cp *deg.CriticalPath
 		var ws *deg.WindowStats
-		if degf.Window > 0 {
-			rep, ws, err = deg.AnalyzeWindowed(tr, deg.WindowOptions{
+		if degf.Stream {
+			// Fused simulate+analyze: the simulator's chunks feed the
+			// windowed analyzer directly and no full trace is materialized —
+			// peak memory is the analyzer's window+margin working set.
+			sa, err := deg.NewStreamAnalyzer(deg.WindowOptions{
 				Window: degf.Window, Overlap: degf.Overlap,
+				ReorderWindow: cfg.ROBEntries,
 			})
 			cli.Check(err)
+			t0 = time.Now()
+			stats, err = core.RunStream(stream, degf.Chunk, sa.Feed)
+			cli.Check(err)
+			peak := sa.PeakBufferedRecords()
+			rep, ws, err = sa.Finish(stats.Cycles)
+			cli.Check(err)
+			streamDur = time.Since(t0)
+			fmt.Printf("streamed analysis: %d windows, peak %d edges / %d vertices, %d clipped deps, peak %d buffered records\n",
+				ws.Windows, ws.PeakEdges, ws.PeakVertices, ws.ClippedDeps, peak)
+		} else {
+			t0 = time.Now()
+			var tr *pipetrace.Trace
+			tr, stats, err = core.Run(stream)
+			cli.Check(err)
+			times[1] = time.Since(t0)
+
+			t0 = time.Now()
+			if degf.Window > 0 {
+				rep, ws, err = deg.AnalyzeWindowed(tr, deg.WindowOptions{
+					Window: degf.Window, Overlap: degf.Overlap,
+					ReorderWindow: cfg.ROBEntries,
+				})
+				cli.Check(err)
+				fmt.Printf("windowed analysis: %d windows, peak %d edges / %d vertices, %d clipped deps\n",
+					ws.Windows, ws.PeakEdges, ws.PeakVertices, ws.ClippedDeps)
+			} else {
+				rep, g, cp, err = deg.Analyze(tr, deg.Options{})
+				cli.Check(err)
+			}
+			times[3] = time.Since(t0)
+		}
+		if ws != nil {
 			rec.Gauge(obs.MetricDEGWindows).Set(float64(ws.Windows))
 			rec.Gauge(obs.MetricDEGPeakEdges).Set(float64(ws.PeakEdges))
 			if d := ws.Dropped(); d > 0 {
 				rec.Counter(obs.MetricDEGDrops).Add(int64(d))
 			}
-			fmt.Printf("windowed analysis: %d windows, peak %d edges / %d vertices, %d clipped deps\n",
-				ws.Windows, ws.PeakEdges, ws.PeakVertices, ws.ClippedDeps)
-		} else {
-			rep, g, cp, err = deg.Analyze(tr, deg.Options{})
-			cli.Check(err)
 		}
-		times[3] = time.Since(t0)
+
+		t0 = time.Now()
+		pw, err := mcpat.Evaluate(cfg, stats)
+		cli.Check(err)
+		times[2] = time.Since(t0)
 		reports = append(reports, rep)
 
 		rec.Counter(obs.MetricEvaluations).Inc()
 		rec.Histogram(obs.MetricStageTrace).Observe(times[0].Seconds())
-		rec.Histogram(obs.MetricStageSim).Observe(times[1].Seconds())
 		rec.Histogram(obs.MetricStagePower).Observe(times[2].Seconds())
-		rec.Histogram(obs.MetricStageDEG).Observe(times[3].Seconds())
+		if degf.Stream {
+			rec.Histogram(obs.MetricStageDEGStream).Observe(streamDur.Seconds())
+		} else {
+			rec.Histogram(obs.MetricStageSim).Observe(times[1].Seconds())
+			rec.Histogram(obs.MetricStageDEG).Observe(times[3].Seconds())
+		}
 		span := &obs.EvalSpan{
 			Span: rec.NextSpan(), Config: cfg.String() + " @ " + p.Name,
 			SimsAt: float64(len(reports)), Perf: stats.IPC(), PowerW: pw.PowerW, AreaMM2: pw.AreaMM2,
 			TraceNS: times[0].Nanoseconds(), SimNS: times[1].Nanoseconds(),
 			PowerNS: times[2].Nanoseconds(), DEGNS: times[3].Nanoseconds(),
-			ElapsedNS: (times[0] + times[1] + times[2] + times[3]).Nanoseconds(),
+			DEGStreamNS: streamDur.Nanoseconds(),
+			ElapsedNS:   (times[0] + times[1] + times[2] + times[3] + streamDur).Nanoseconds(),
 		}
 		if ws != nil {
 			span.DEGWindows = ws.Windows

@@ -80,6 +80,8 @@ func main() {
 		SkipFailures:    resil.SkipFailures,
 		DEGWindow:       degf.Window,
 		DEGOverlap:      degf.Overlap,
+		DEGStream:       degf.Stream,
+		DEGChunk:        degf.Chunk,
 	}
 	// Campaign grids are multi-minute; surface cell completions live
 	// whenever any telemetry is on.

@@ -140,7 +140,7 @@ func printStages(w io.Writer, spans []*obs.EvalSpan) {
 	if len(spans) == 0 {
 		return
 	}
-	var trace, sim, power, deg time.Duration
+	var trace, sim, power, deg, degStream time.Duration
 	var insts int64
 	evals, probes := 0, 0
 	for _, s := range spans {
@@ -148,6 +148,7 @@ func printStages(w io.Writer, spans []*obs.EvalSpan) {
 		sim += time.Duration(s.SimNS)
 		power += time.Duration(s.PowerNS)
 		deg += time.Duration(s.DEGNS)
+		degStream += time.Duration(s.DEGStreamNS)
 		insts += s.SimInsts
 		if s.Probe {
 			probes++
@@ -155,7 +156,7 @@ func printStages(w io.Writer, spans []*obs.EvalSpan) {
 			evals++
 		}
 	}
-	total := trace + sim + power + deg
+	total := trace + sim + power + deg + degStream
 	fmt.Fprintf(w, "stage-time breakdown (%d full evaluations, %d probes):\n", evals, probes)
 	pct := func(d time.Duration) float64 {
 		if total == 0 {
@@ -165,6 +166,11 @@ func printStages(w io.Writer, spans []*obs.EvalSpan) {
 	}
 	fmt.Fprintf(w, "  %-10s %12s %6.1f%%\n", "sim", sim.Round(time.Microsecond), pct(sim))
 	fmt.Fprintf(w, "  %-10s %12s %6.1f%%\n", "analysis", deg.Round(time.Microsecond), pct(deg))
+	// Fused sim+analysis stage of streamed evaluations; older journals and
+	// buffered runs carry no such spans, so the row stays hidden for them.
+	if degStream > 0 {
+		fmt.Fprintf(w, "  %-10s %12s %6.1f%%\n", "sim+deg", degStream.Round(time.Microsecond), pct(degStream))
+	}
 	fmt.Fprintf(w, "  %-10s %12s %6.1f%%\n", "power", power.Round(time.Microsecond), pct(power))
 	fmt.Fprintf(w, "  %-10s %12s %6.1f%%\n", "traces", trace.Round(time.Microsecond), pct(trace))
 	fmt.Fprintf(w, "  %-10s %12s\n", "total", total.Round(time.Microsecond))

@@ -148,20 +148,31 @@ type DEG struct {
 	// analyzes the whole trace in one pass.
 	Window int
 	// Overlap is the context margin prepended to each window
-	// (-deg-overlap); 0 uses deg.DefaultOverlap.
+	// (-deg-overlap); 0 derives it from the evaluated config's reorder
+	// window (deg.RequiredOverlap), falling back to deg.DefaultOverlap.
 	Overlap int
+	// Stream fuses simulation and analysis into the streaming pipeline
+	// (-deg-stream): no full trace is materialized and peak memory is
+	// O(window + margin). Chunk is the records-per-chunk granularity
+	// (-deg-chunk); 0 uses the simulator default.
+	Stream bool
+	Chunk  int
 }
 
 // AddDEGFlags registers the windowed-analysis flags on fs.
 func (d *DEG) AddDEGFlags(fs *flag.FlagSet) {
 	fs.IntVar(&d.Window, "deg-window", 0, "run bottleneck analysis in instruction windows of this size (pooled buffers, O(window) memory); 0 analyzes the whole trace")
-	fs.IntVar(&d.Overlap, "deg-overlap", 0, "context margin in instructions prepended to each -deg-window so cross-boundary edges are seen; 0 uses the default")
+	fs.IntVar(&d.Overlap, "deg-overlap", 0, "context margin in instructions prepended to each -deg-window so cross-boundary edges are seen; 0 derives it from the evaluated config's ROB")
+	fs.BoolVar(&d.Stream, "deg-stream", false, "stream simulator chunks straight into the windowed analyzer (no materialized trace, O(window+margin) memory; reports identical to the buffered path)")
+	fs.IntVar(&d.Chunk, "deg-chunk", 0, "records per chunk of the -deg-stream pipeline; 0 uses the simulator default")
 }
 
 // Apply installs the windowed-analysis knobs on the evaluator.
 func (d *DEG) Apply(ev *dse.Evaluator) {
 	ev.DEGWindow = d.Window
 	ev.DEGOverlap = d.Overlap
+	ev.DEGStream = d.Stream
+	ev.DEGChunk = d.Chunk
 }
 
 // Resilience is the shared fault-tolerance flag set: the retry policy for

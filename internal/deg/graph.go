@@ -212,6 +212,12 @@ func buildInto(g *Graph, tr *pipetrace.Trace, opts Options, base, end int, b *bu
 	g.Trace = tr
 	g.base = base
 
+	// Producer annotations are global sequence numbers; records sit at
+	// index Seq - seq0 in tr.Records. Batch traces have seq0 == 0 (index
+	// equals sequence number); the stream analyzer's sliding buffer starts
+	// at whatever sequence is still retained.
+	seq0 := tr.Records[0].Seq
+
 	// Skewed-edge anchor bookkeeping for the induced DEG, deduped by
 	// (vertex, start): a vertex shared by several skewed edges used to push
 	// one anchor per edge, repeating identical Rule 1/Rule 2 scans and
@@ -261,14 +267,17 @@ func buildInto(g *Graph, tr *pipetrace.Trace, opts Options, base, end int, b *bu
 		}
 	}
 
-	// clip drops a producer annotation that precedes the build range.
+	// clip drops a producer annotation that precedes the build range;
+	// toLocal maps a surviving global producer sequence to the build
+	// range's local vertex sequence.
 	clip := func(producer int) bool {
-		if producer >= base {
+		if producer-seq0 >= base {
 			return false
 		}
 		g.ClippedDeps++
 		return true
 	}
+	toLocal := func(producer int) int { return producer - seq0 - base }
 
 	for i := 0; i < nRecs; i++ {
 		rec := &tr.Records[base+i]
@@ -308,25 +317,25 @@ func buildInto(g *Graph, tr *pipetrace.Trace, opts Options, base, end int, b *bu
 			if clip(rd.Producer) {
 				continue
 			}
-			addSkewed(Vertex(rd.Producer-base, pipetrace.SR), Vertex(i, pipetrace.SR), EdgeResource, rd.Resource)
+			addSkewed(Vertex(toLocal(rd.Producer), pipetrace.SR), Vertex(i, pipetrace.SR), EdgeResource, rd.Resource)
 		}
 		// Functional unit and port contention (issue to issue).
 		if rec.FUProducer >= 0 && !clip(rec.FUProducer) {
-			addSkewed(Vertex(rec.FUProducer-base, pipetrace.SI), Vertex(i, pipetrace.SI), EdgeFU, rec.FURes)
+			addSkewed(Vertex(toLocal(rec.FUProducer), pipetrace.SI), Vertex(i, pipetrace.SI), EdgeFU, rec.FURes)
 		}
 		if rec.PortProducer >= 0 && !clip(rec.PortProducer) {
-			addSkewed(Vertex(rec.PortProducer-base, pipetrace.SI), Vertex(i, pipetrace.SI), EdgeFU, uarch.ResRdWrPort)
+			addSkewed(Vertex(toLocal(rec.PortProducer), pipetrace.SI), Vertex(i, pipetrace.SI), EdgeFU, uarch.ResRdWrPort)
 		}
 		// True data dependence.
 		for _, p := range rec.DataProducers {
 			if clip(p) {
 				continue
 			}
-			addSkewed(Vertex(p-base, pipetrace.SI), Vertex(i, pipetrace.SI), EdgeData, uarch.ResRawDep)
+			addSkewed(Vertex(toLocal(p), pipetrace.SI), Vertex(i, pipetrace.SI), EdgeData, uarch.ResRawDep)
 		}
 		// Misprediction dependence.
 		if rec.MispredictFrom >= 0 && !clip(rec.MispredictFrom) {
-			addSkewed(Vertex(rec.MispredictFrom-base, pipetrace.SP), Vertex(i, pipetrace.SF1), EdgeMispredict, uarch.ResBranchPred)
+			addSkewed(Vertex(toLocal(rec.MispredictFrom), pipetrace.SP), Vertex(i, pipetrace.SF1), EdgeMispredict, uarch.ResBranchPred)
 		}
 	}
 

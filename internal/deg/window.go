@@ -9,12 +9,36 @@ import (
 )
 
 // DefaultOverlap is the context margin, in instructions, prepended to each
-// window when WindowOptions.Overlap is zero. Dependence annotations point
-// backwards at most as far as the in-flight window allows — the largest ROB
-// in the design space holds 192 instructions — so 256 covers every producer
-// a window-interior instruction can name, with slack for misprediction
-// refills that reach slightly past the reorder window.
+// window when WindowOptions.Overlap is zero and no ReorderWindow is given.
+// Dependence annotations point backwards at most as far as the in-flight
+// window allows, so the margin must cover the evaluated config's ROB (the
+// design space sweeps it up to 256 entries — seq(32, 256, 16) in
+// uarch.StandardSpace) plus refill slack. A caller that knows its config
+// should set ReorderWindow and let RequiredOverlap derive the margin; this
+// constant is only the config-free fallback, sized for ROBs up to
+// 256 - RefillSlack instructions.
 const DefaultOverlap = 256
+
+// RefillSlack is the margin added on top of the reorder window when
+// deriving a window overlap from a config: misprediction-refill sources
+// and fetch-group producers can reach slightly past the ROB's reach
+// (redirect penalty, fetch-queue drain), so the derived margin is
+// ROB + RefillSlack.
+const RefillSlack = 64
+
+// RequiredOverlap returns the context margin the windowed analyzer needs
+// for a design with the given reorder window (ROB entries): every producer
+// annotation a window-interior instruction can name falls within it.
+func RequiredOverlap(reorderWindow int) int {
+	if reorderWindow <= 0 {
+		return DefaultOverlap
+	}
+	o := reorderWindow + RefillSlack
+	if o < DefaultOverlap {
+		o = DefaultOverlap
+	}
+	return o
+}
 
 // WindowOptions tunes the windowed analyzer.
 type WindowOptions struct {
@@ -26,8 +50,32 @@ type WindowOptions struct {
 	// Overlap is the context margin in instructions prepended to each
 	// window so cross-boundary edges are seen; the margin's edges are
 	// attributed only by the window that owns their head instruction, so
-	// each edge is counted exactly once. Zero means DefaultOverlap.
+	// each edge is counted exactly once. Zero derives the margin from
+	// ReorderWindow (RequiredOverlap), or DefaultOverlap when neither is
+	// set.
 	Overlap int
+	// ReorderWindow is the evaluated config's ROB capacity in
+	// instructions. When set, a zero Overlap derives the margin as
+	// RequiredOverlap(ReorderWindow), and an explicit Overlap smaller than
+	// ReorderWindow is rejected with an error instead of silently clipping
+	// in-flight producers into ClippedDeps. Zero keeps the config-free
+	// behavior (DefaultOverlap, no validation) for callers without a
+	// config in hand.
+	ReorderWindow int
+}
+
+// effectiveOverlap resolves the context margin from the options,
+// validating a caller-supplied overlap against the config's reorder
+// window when one is known.
+func (o *WindowOptions) effectiveOverlap() (int, error) {
+	if o.Overlap <= 0 {
+		return RequiredOverlap(o.ReorderWindow), nil
+	}
+	if o.ReorderWindow > 0 && o.Overlap < o.ReorderWindow {
+		return 0, fmt.Errorf("deg: overlap %d is smaller than the config's reorder window %d; in-flight producers would be clipped (need >= %d, ideally %d)",
+			o.Overlap, o.ReorderWindow, o.ReorderWindow, RequiredOverlap(o.ReorderWindow))
+	}
+	return o.Overlap, nil
 }
 
 // WindowStats summarizes a windowed analysis run.
@@ -166,17 +214,15 @@ func AnalyzeWindowed(tr *pipetrace.Trace, opts WindowOptions) (*Report, *WindowS
 		}
 		return rep, st, nil
 	}
-	overlap := opts.Overlap
-	if overlap <= 0 {
-		overlap = DefaultOverlap
+	overlap, err := opts.effectiveOverlap()
+	if err != nil {
+		return nil, nil, err
 	}
 
 	b := bufPool.Get().(*buffers)
 	defer bufPool.Put(b)
 
-	rep := &Report{}
-	st := &WindowStats{}
-	var attributed int64
+	var wa windowAccum
 	for lo := 0; lo < n; lo += opts.Window {
 		hi := lo + opts.Window
 		if hi > n {
@@ -194,41 +240,68 @@ func AnalyzeWindowed(tr *pipetrace.Trace, opts WindowOptions) (*Report, *WindowS
 		if end > n {
 			end = n
 		}
-		var g Graph
-		if err := buildInto(&g, tr, opts.Options, base, end, b); err != nil {
+		if err := wa.analyzeWindow(tr, opts.Options, base, end, lo, hi, b); err != nil {
 			return nil, nil, err
-		}
-		st.Windows++
-		if g.NumEdges() > st.PeakEdges {
-			st.PeakEdges = g.NumEdges()
-		}
-		if g.NumVertices > st.PeakVertices {
-			st.PeakVertices = g.NumVertices
-		}
-		st.DroppedNoStamp += g.DroppedNoStamp
-		st.DroppedBackward += g.DroppedBackward
-		st.ClippedDeps += g.ClippedDeps
-
-		cp, err := g.constructInto(b)
-		if err != nil {
-			return nil, nil, err
-		}
-		for _, e := range cp.Edges {
-			if e.Res == uarch.ResNone {
-				continue
-			}
-			if seq := base + e.To.Seq(); seq < lo || seq >= hi {
-				continue // a margin edge; its owner window attributes it
-			}
-			rep.DelayByRes[e.Res] += e.Delay
-			rep.EdgeCount[e.Res]++
-			attributed += e.Delay
 		}
 	}
 
-	rep.L = tr.Cycles
+	return wa.finish(tr.Cycles, tr.Span())
+}
+
+// windowAccum stitches per-window critical paths into one Report: the
+// shared core of AnalyzeWindowed and the StreamAnalyzer, so the two are
+// bit-identical by construction at equal window/overlap.
+type windowAccum struct {
+	rep        Report
+	st         WindowStats
+	attributed int64
+}
+
+// analyzeWindow builds the induced DEG over records [base, end) of tr
+// (indices into tr.Records), constructs its critical path in the pooled
+// buffers, and attributes the path edges owned by [lo, hi) — the window
+// proper, excluding the context margins.
+func (wa *windowAccum) analyzeWindow(tr *pipetrace.Trace, opts Options, base, end, lo, hi int, b *buffers) error {
+	var g Graph
+	if err := buildInto(&g, tr, opts, base, end, b); err != nil {
+		return err
+	}
+	wa.st.Windows++
+	if g.NumEdges() > wa.st.PeakEdges {
+		wa.st.PeakEdges = g.NumEdges()
+	}
+	if g.NumVertices > wa.st.PeakVertices {
+		wa.st.PeakVertices = g.NumVertices
+	}
+	wa.st.DroppedNoStamp += g.DroppedNoStamp
+	wa.st.DroppedBackward += g.DroppedBackward
+	wa.st.ClippedDeps += g.ClippedDeps
+
+	cp, err := g.constructInto(b)
+	if err != nil {
+		return err
+	}
+	for _, e := range cp.Edges {
+		if e.Res == uarch.ResNone {
+			continue
+		}
+		if seq := base + e.To.Seq(); seq < lo || seq >= hi {
+			continue // a margin edge; its owner window attributes it
+		}
+		wa.rep.DelayByRes[e.Res] += e.Delay
+		wa.rep.EdgeCount[e.Res]++
+		wa.attributed += e.Delay
+	}
+	return nil
+}
+
+// finish computes the report's ratios over the runtime L: the trace's
+// cycle count, falling back to its wall-clock span, falling back to 1.
+func (wa *windowAccum) finish(cycles, span int64) (*Report, *WindowStats, error) {
+	rep, st := &wa.rep, &wa.st
+	rep.L = cycles
 	if rep.L <= 0 {
-		rep.L = tr.Span()
+		rep.L = span
 	}
 	if rep.L <= 0 {
 		rep.L = 1
@@ -236,7 +309,7 @@ func AnalyzeWindowed(tr *pipetrace.Trace, opts WindowOptions) (*Report, *WindowS
 	for r := range rep.Contrib {
 		rep.Contrib[r] = float64(rep.DelayByRes[r]) / float64(rep.L)
 	}
-	rep.Base = 1 - float64(attributed)/float64(rep.L)
+	rep.Base = 1 - float64(wa.attributed)/float64(rep.L)
 	if rep.Base < 0 {
 		rep.Base = 0
 		rep.BaseClamped = true

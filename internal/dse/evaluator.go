@@ -34,16 +34,23 @@ type StageTimes struct {
 	Sim   time.Duration // cycle-level out-of-order simulation
 	Power time.Duration // McPAT power/area model
 	DEG   time.Duration // graph build + critical path + attribution
+	// DEGStream is the fused simulate+analyze stage of the streaming
+	// pipeline (Evaluator.DEGStream); on streamed evaluations it replaces
+	// Sim and DEG, which stay zero.
+	DEGStream time.Duration
 }
 
 // Total is the summed worker time across all stages.
-func (s StageTimes) Total() time.Duration { return s.Trace + s.Sim + s.Power + s.DEG }
+func (s StageTimes) Total() time.Duration {
+	return s.Trace + s.Sim + s.Power + s.DEG + s.DEGStream
+}
 
 func (s *StageTimes) add(o StageTimes) {
 	s.Trace += o.Trace
 	s.Sim += o.Sim
 	s.Power += o.Power
 	s.DEG += o.DEG
+	s.DEGStream += o.DEGStream
 }
 
 // Evaluation is the outcome of evaluating one design point on the full
@@ -161,6 +168,19 @@ type Evaluator struct {
 	// deg.DefaultOverlap.
 	DEGWindow  int
 	DEGOverlap int
+
+	// DEGStream fuses simulation and bottleneck analysis into one streaming
+	// stage: the simulator emits committed records in fixed-size chunks
+	// through a bounded channel and the windowed analyzer consumes each
+	// window as soon as its context margin is buffered, so analysis overlaps
+	// simulation and no full trace is ever materialized — peak memory is
+	// O(window + margin) instead of O(trace). Reports are bit-identical to
+	// the buffered path at equal window/overlap. Probes and calipers runs
+	// need the materialized trace and keep the buffered path regardless.
+	// DEGChunk is the records-per-chunk granularity; 0 uses
+	// ooo.DefaultChunkSize.
+	DEGStream bool
+	DEGChunk  int
 
 	// Sims counts the simulation budget spent so far, in units of full
 	// (config, workload) simulations. It is mutated only while committing
@@ -519,12 +539,12 @@ func (ev *Evaluator) obsCommit(j *job) {
 	ev.obsSpans[j.key] = span
 	ev.mu.Unlock()
 	rec.Emit(&obs.EvalSpan{
-		Span:      span,
-		Replaces:  replaces,
-		Point:     append([]int(nil), e.Point[:]...),
-		Config:    e.Config.String(),
-		Probe:     e.Probe,
-		SimsAt:    e.SimsAt,
+		Span:         span,
+		Replaces:     replaces,
+		Point:        append([]int(nil), e.Point[:]...),
+		Config:       e.Config.String(),
+		Probe:        e.Probe,
+		SimsAt:       e.SimsAt,
 		Perf:         e.PPA.Perf,
 		PowerW:       e.PPA.Power,
 		AreaMM2:      e.PPA.Area,
@@ -533,10 +553,11 @@ func (ev *Evaluator) obsCommit(j *job) {
 		DEGDrops:     e.DEGDrops,
 		SimInsts:     e.SimInsts,
 		TraceNS:      e.Times.Trace.Nanoseconds(),
-		SimNS:     e.Times.Sim.Nanoseconds(),
-		PowerNS:   e.Times.Power.Nanoseconds(),
-		DEGNS:     e.Times.DEG.Nanoseconds(),
-		ElapsedNS: e.Elapsed.Nanoseconds(),
+		SimNS:        e.Times.Sim.Nanoseconds(),
+		PowerNS:      e.Times.Power.Nanoseconds(),
+		DEGNS:        e.Times.DEG.Nanoseconds(),
+		DEGStreamNS:  e.Times.DEGStream.Nanoseconds(),
+		ElapsedNS:    e.Elapsed.Nanoseconds(),
 	})
 }
 
@@ -641,6 +662,10 @@ type degOutcome struct {
 // only read their inputs and return fresh values, so an abandoned (timed
 // out) attempt cannot race a retry.
 func (ev *Evaluator) simWorkload(cfg uarch.Config, wl workload.Profile, traceLen int, withDEG, probe bool) (r wlResult) {
+	// Streamed evaluations fuse simulation and analysis; probes need the
+	// materialized trace for warm-window IPC and calipers runs need it for
+	// the static graph, so both keep the buffered path.
+	streamed := withDEG && ev.DEGStream && !ev.UseCalipers && !probe
 	sr := &stageRunner{ev: ev, workload: wl.Name}
 	// r is a named result so this runs after any return statement's copy.
 	defer func() { r.faults = sr.recs }()
@@ -652,17 +677,27 @@ func (ev *Evaluator) simWorkload(cfg uarch.Config, wl workload.Profile, traceLen
 		defer func() {
 			rec.Gauge(obs.MetricSimsInFlight).Add(-1)
 			rec.Histogram(obs.MetricStageTrace).Observe(r.times.Trace.Seconds())
-			rec.Histogram(obs.MetricStageSim).Observe(r.times.Sim.Seconds())
 			rec.Histogram(obs.MetricStagePower).Observe(r.times.Power.Seconds())
-			if withDEG {
-				rec.Histogram(obs.MetricStageDEG).Observe(r.times.DEG.Seconds())
+			if streamed {
+				rec.Histogram(obs.MetricStageDEGStream).Observe(r.times.DEGStream.Seconds())
+			} else {
+				rec.Histogram(obs.MetricStageSim).Observe(r.times.Sim.Seconds())
+				if withDEG {
+					rec.Histogram(obs.MetricStageDEG).Observe(r.times.DEG.Seconds())
+				}
 			}
 			// Counters and gauges are unordered aggregates like the ones
 			// above, so the throughput metrics may also land worker-side.
 			if r.simInsts > 0 {
 				rec.Counter(obs.MetricSimInsts).Add(r.simInsts)
-				if s := r.times.Sim.Seconds(); s > 0 {
-					rec.Gauge(obs.MetricSimInstRate).Set(float64(r.simInsts) / s)
+				simSecs := r.times.Sim.Seconds()
+				if streamed {
+					// The fused stage's wall-clock covers analysis too; it
+					// still bounds pipeline throughput from below.
+					simSecs = r.times.DEGStream.Seconds()
+				}
+				if simSecs > 0 {
+					rec.Gauge(obs.MetricSimInstRate).Set(float64(r.simInsts) / simSecs)
 				}
 			}
 		}()
@@ -678,30 +713,38 @@ func (ev *Evaluator) simWorkload(cfg uarch.Config, wl workload.Profile, traceLen
 		return r
 	}
 
+	if streamed {
+		return ev.simWorkloadStreamed(r, sr, cfg, wl, stream)
+	}
+
 	t0 = time.Now()
-	sim, err := runStage(sr, fault.SiteSim, func() (simOutcome, error) {
-		core, err := ooo.New(cfg)
-		if err != nil {
-			return simOutcome{}, err
-		}
-		// Probe-lite: without bottleneck analysis downstream, nothing reads
-		// the DEG annotations, so skip recording them. Stamps and Stats are
-		// bit-identical either way (pinned by ooo's parity tests).
-		var tr *pipetrace.Trace
-		var stats *ooo.Stats
-		if withDEG {
-			tr, stats, err = core.Run(stream)
-		} else {
-			tr, stats, err = core.RunLite(stream)
-		}
-		if err != nil {
-			return simOutcome{}, fmt.Errorf("dse: %s on %s: %w", wl.Name, cfg, err)
-		}
-		if len(tr.Records) == 0 {
-			return simOutcome{}, fmt.Errorf("dse: %s on %s: simulation committed no instructions", wl.Name, cfg)
-		}
-		return simOutcome{tr: tr, stats: stats}, nil
-	})
+	sim, err := runStageGuarded(sr, fault.SiteSim, nil,
+		// A timed-out attempt's late trace has no receiver; recycle it.
+		func(o simOutcome) { o.tr.Release() },
+		func() (simOutcome, error) {
+			core, err := ooo.New(cfg)
+			if err != nil {
+				return simOutcome{}, err
+			}
+			// Probe-lite: without bottleneck analysis downstream, nothing reads
+			// the DEG annotations, so skip recording them. Stamps and Stats are
+			// bit-identical either way (pinned by ooo's parity tests).
+			var tr *pipetrace.Trace
+			var stats *ooo.Stats
+			if withDEG {
+				tr, stats, err = core.Run(stream)
+			} else {
+				tr, stats, err = core.RunLite(stream)
+			}
+			if err != nil {
+				return simOutcome{}, fmt.Errorf("dse: %s on %s: %w", wl.Name, cfg, err)
+			}
+			if len(tr.Records) == 0 {
+				tr.Release()
+				return simOutcome{}, fmt.Errorf("dse: %s on %s: simulation committed no instructions", wl.Name, cfg)
+			}
+			return simOutcome{tr: tr, stats: stats}, nil
+		})
 	r.times.Sim = time.Since(t0)
 	if err != nil {
 		r.err = err
@@ -711,12 +754,11 @@ func (ev *Evaluator) simWorkload(cfg uarch.Config, wl workload.Profile, traceLen
 	r.simInsts = int64(len(tr.Records))
 	// The trace is consumed entirely within this call (warm-window IPC and
 	// the DEG report aggregate; neither escapes holding record references),
-	// so its buffers can recycle through the trace pool — but only when
-	// stage timeouts are off: an abandoned timed-out DEG attempt may still
-	// be reading the trace after we return.
-	if ev.StageTimeout == 0 {
-		defer tr.Release()
-	}
+	// so its buffers recycle through the trace pool when this reference —
+	// the owner's — drops. Abandoned timed-out DEG attempts hold their own
+	// references (the stage's acquire hook), so this Release is always safe
+	// and no evaluation leaks its trace.
+	defer tr.Release()
 
 	t0 = time.Now()
 	pw, err := runStage(sr, fault.SitePower, func() (mcpat.Result, error) {
@@ -738,27 +780,34 @@ func (ev *Evaluator) simWorkload(cfg uarch.Config, wl workload.Profile, traceLen
 
 	if withDEG {
 		t0 = time.Now()
-		dout, err := runStage(sr, fault.SiteDEG, func() (degOutcome, error) {
-			if ev.UseCalipers {
-				rep, err := calipersReport(tr, cfg)
-				return degOutcome{rep: rep}, err
-			}
-			if ev.DEGWindow > 0 {
-				rep, ws, err := deg.AnalyzeWindowed(tr, deg.WindowOptions{
-					Window: ev.DEGWindow, Overlap: ev.DEGOverlap,
-				})
+		dout, err := runStageGuarded(sr, fault.SiteDEG,
+			// Each attempt reads tr and may outlive this function when a
+			// timeout abandons it, so it pins the trace with its own
+			// reference, taken before the attempt starts.
+			func() func() { tr.Retain(); return tr.Release },
+			nil,
+			func() (degOutcome, error) {
+				if ev.UseCalipers {
+					rep, err := calipersReport(tr, cfg)
+					return degOutcome{rep: rep}, err
+				}
+				if ev.DEGWindow > 0 {
+					rep, ws, err := deg.AnalyzeWindowed(tr, deg.WindowOptions{
+						Window: ev.DEGWindow, Overlap: ev.DEGOverlap,
+						ReorderWindow: cfg.ROBEntries,
+					})
+					if err != nil {
+						return degOutcome{}, err
+					}
+					return degOutcome{rep: rep, windows: ws.Windows,
+						peakEdges: ws.PeakEdges, drops: int64(ws.Dropped())}, nil
+				}
+				rep, g, _, err := deg.Analyze(tr, deg.Options{})
 				if err != nil {
 					return degOutcome{}, err
 				}
-				return degOutcome{rep: rep, windows: ws.Windows,
-					peakEdges: ws.PeakEdges, drops: int64(ws.Dropped())}, nil
-			}
-			rep, g, _, err := deg.Analyze(tr, deg.Options{})
-			if err != nil {
-				return degOutcome{}, err
-			}
-			return degOutcome{rep: rep, drops: int64(g.Dropped())}, nil
-		})
+				return degOutcome{rep: rep, drops: int64(g.Dropped())}, nil
+			})
 		r.times.DEG = time.Since(t0)
 		if err != nil {
 			r.err = err
@@ -770,6 +819,120 @@ func (ev *Evaluator) simWorkload(cfg uarch.Config, wl workload.Profile, traceLen
 		r.degDrops = dout.drops
 	}
 	return r
+}
+
+// streamDepth is the bounded channel depth between the simulating producer
+// and the analyzing consumer of a streamed evaluation: enough for the
+// stages to overlap, small enough that in-flight chunks stay a rounding
+// error next to the analyzer's window+margin working set.
+const streamDepth = 2
+
+// streamOutcome bundles the fused simulate+analyze stage's products.
+type streamOutcome struct {
+	stats *ooo.Stats
+	rep   *deg.Report
+	ws    *deg.WindowStats
+}
+
+// simWorkloadStreamed is simWorkload's tail for streamed evaluations: one
+// fused stage runs the simulator and the windowed DEG analyzer as a
+// producer/consumer pair over a bounded chunk channel, then the power model
+// runs on the stats as usual. No full trace is ever materialized.
+func (ev *Evaluator) simWorkloadStreamed(r wlResult, sr *stageRunner, cfg uarch.Config, wl workload.Profile, stream []isa.Inst) wlResult {
+	t0 := time.Now()
+	so, err := runStage(sr, fault.SiteDEGStream, func() (streamOutcome, error) {
+		return ev.runStreamed(cfg, wl, stream)
+	})
+	r.times.DEGStream = time.Since(t0)
+	if err != nil {
+		r.err = err
+		return r
+	}
+	r.simInsts = int64(so.stats.Committed)
+	r.rep = so.rep
+	r.degWindows = so.ws.Windows
+	r.degPeakEdges = so.ws.PeakEdges
+	r.degDrops = int64(so.ws.Dropped())
+
+	t0 = time.Now()
+	pw, err := runStage(sr, fault.SitePower, func() (mcpat.Result, error) {
+		return mcpat.Evaluate(cfg, so.stats)
+	})
+	r.times.Power = time.Since(t0)
+	if err != nil {
+		r.err = err
+		return r
+	}
+	r.ipc = so.stats.IPC()
+	r.pow = pw.PowerW
+	r.area = pw.AreaMM2
+	return r
+}
+
+// runStreamed is one attempt of the fused stage: the simulator goroutine
+// (this one) emits chunks into a bounded channel; a consumer goroutine
+// feeds them to the stream analyzer, which analyzes each window the moment
+// its forward margin is buffered and evicts records no later window can
+// reach. An analyzer error aborts the simulation at the next chunk instead
+// of draining the whole workload into a dead consumer.
+func (ev *Evaluator) runStreamed(cfg uarch.Config, wl workload.Profile, stream []isa.Inst) (streamOutcome, error) {
+	sa, err := deg.NewStreamAnalyzer(deg.WindowOptions{
+		Window: ev.DEGWindow, Overlap: ev.DEGOverlap,
+		ReorderWindow: cfg.ROBEntries,
+	})
+	if err != nil {
+		return streamOutcome{}, err
+	}
+	defer sa.Close() // idempotent; pairs with Finish on the success path
+	core, err := ooo.New(cfg)
+	if err != nil {
+		return streamOutcome{}, err
+	}
+	chunkSize := ev.DEGChunk
+	if chunkSize <= 0 {
+		chunkSize = ooo.DefaultChunkSize
+	}
+
+	ch := make(chan *pipetrace.Chunk, streamDepth)
+	done := make(chan struct{})
+	var feedErr error
+	go func() {
+		defer close(done)
+		for c := range ch {
+			if err := sa.Feed(c); err != nil {
+				feedErr = err
+				return
+			}
+		}
+	}()
+	stats, simErr := core.RunStream(stream, chunkSize, func(c *pipetrace.Chunk) error {
+		select {
+		case ch <- c:
+			return nil
+		case <-done:
+			c.Release()
+			return feedErr // consumer died; abort the simulation
+		}
+	})
+	close(ch)
+	<-done
+	for c := range ch {
+		c.Release() // chunks the consumer never reached before it died
+	}
+	if feedErr != nil {
+		return streamOutcome{}, feedErr
+	}
+	if simErr != nil {
+		return streamOutcome{}, fmt.Errorf("dse: %s on %s: %w", wl.Name, cfg, simErr)
+	}
+	if stats.Committed == 0 {
+		return streamOutcome{}, fmt.Errorf("dse: %s on %s: simulation committed no instructions", wl.Name, cfg)
+	}
+	rep, ws, err := sa.Finish(stats.Cycles)
+	if err != nil {
+		return streamOutcome{}, err
+	}
+	return streamOutcome{stats: stats, rep: rep, ws: ws}, nil
 }
 
 // warmWindowIPC measures IPC over the post-warmup window of a probe trace:

@@ -41,9 +41,27 @@ type stageRunner struct {
 // reads its inputs and returns fresh values (it never writes captured
 // state).
 func runStage[T any](sr *stageRunner, site string, fn func() (T, error)) (T, error) {
+	return runStageGuarded(sr, site, nil, nil, fn)
+}
+
+// runStageGuarded is runStage for stages whose attempts touch refcounted
+// state the caller releases after the stage returns, or produce values that
+// own pooled storage.
+//
+// acquire (optional) takes a reference on the stage's shared input — it
+// runs on the calling goroutine before each attempt can be abandoned, while
+// the caller's own reference is still live — and the returned release runs
+// when the attempt finishes, even if a timeout abandoned it long before.
+// Without it, the caller's deferred Release would recycle the input under a
+// still-running abandoned attempt.
+//
+// discard (optional) disposes of a successful attempt's value when nobody
+// will receive it — the attempt timed out and its late result would
+// otherwise strand whatever pooled storage it owns.
+func runStageGuarded[T any](sr *stageRunner, site string, acquire func() func(), discard func(T), fn func() (T, error)) (T, error) {
 	var zero T
 	for attempt := 1; ; attempt++ {
-		v, err := attemptStage(sr, site, fn)
+		v, err := attemptStage(sr, site, acquire, discard, fn)
 		if err == nil {
 			return v, nil
 		}
@@ -74,7 +92,7 @@ func runStage[T any](sr *stageRunner, site string, fn func() (T, error)) (T, err
 // the evaluator's stage timeout. A timed-out attempt returns a transient
 // TimeoutError and abandons the attempt goroutine to finish in the
 // background — its result is discarded via the buffered channel.
-func attemptStage[T any](sr *stageRunner, site string, fn func() (T, error)) (T, error) {
+func attemptStage[T any](sr *stageRunner, site string, acquire func() func(), discard func(T), fn func() (T, error)) (T, error) {
 	work := func() (T, error) {
 		if err := sr.ev.Faults.Hit(site); err != nil {
 			var zero T
@@ -84,14 +102,28 @@ func attemptStage[T any](sr *stageRunner, site string, fn func() (T, error)) (T,
 	}
 	timeout := sr.ev.StageTimeout
 	if timeout <= 0 {
+		// Inline attempt: nothing is abandoned, so the caller's own
+		// references cover the whole run and a guard would be redundant —
+		// but acquiring keeps the refcount discipline identical in both
+		// modes, so lifecycle tests exercise the same paths.
+		if acquire != nil {
+			defer acquire()()
+		}
 		return work()
 	}
 	type result struct {
 		v   T
 		err error
 	}
+	var release func()
+	if acquire != nil {
+		release = acquire()
+	}
 	done := make(chan result, 1)
 	go func() {
+		if release != nil {
+			defer release()
+		}
 		v, err := work()
 		done <- result{v, err}
 	}()
@@ -102,6 +134,16 @@ func attemptStage[T any](sr *stageRunner, site string, fn func() (T, error)) (T,
 		return r.v, r.err
 	case <-timer.C:
 		sr.ev.Obs.Counter(obs.MetricTimeouts).Inc()
+		if discard != nil {
+			// The abandoned attempt may still complete; drain its late
+			// result so any pooled storage it owns is returned rather than
+			// stranded.
+			go func() {
+				if r := <-done; r.err == nil {
+					discard(r.v)
+				}
+			}()
+		}
 		var zero T
 		return zero, &fault.TimeoutError{Site: site, After: timeout}
 	}

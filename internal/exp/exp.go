@@ -67,9 +67,13 @@ type Options struct {
 
 	// DEGWindow and DEGOverlap switch every evaluator the harness builds
 	// to windowed bottleneck analysis (see dse.Evaluator); 0 keeps the
-	// whole-trace analyzer.
+	// whole-trace analyzer. DEGStream additionally fuses simulation and
+	// analysis into the streaming pipeline, DEGChunk setting its chunk
+	// granularity.
 	DEGWindow  int
 	DEGOverlap int
+	DEGStream  bool
+	DEGChunk   int
 
 	// Retry, StageTimeout, and SkipFailures are the evaluator resilience
 	// policy applied to every evaluator the harness builds (see dse).
@@ -156,6 +160,8 @@ func newEvaluator(o Options, suite []workload.Profile) *dse.Evaluator {
 	ev.SkipFailures = o.SkipFailures
 	ev.DEGWindow = o.DEGWindow
 	ev.DEGOverlap = o.DEGOverlap
+	ev.DEGStream = o.DEGStream
+	ev.DEGChunk = o.DEGChunk
 	return ev
 }
 

@@ -41,6 +41,10 @@ const (
 	SitePower = "power"
 	// SiteDEG is the dependence-graph bottleneck analysis.
 	SiteDEG = "deg"
+	// SiteDEGStream is the fused simulate+analyze stage of the streaming
+	// sim->DEG pipeline (Evaluator.DEGStream); it stands in for both SiteSim
+	// and SiteDEG when the two stages run as one.
+	SiteDEGStream = "deg_stream"
 	// SitePersistWrite is a campaign checkpoint/save write.
 	SitePersistWrite = "persist.write"
 	// SitePersistRead is a campaign checkpoint/resume read.
@@ -49,7 +53,7 @@ const (
 
 // Sites returns the registry of valid failure-site names, sorted.
 func Sites() []string {
-	out := []string{SiteTrace, SiteSim, SitePower, SiteDEG, SitePersistWrite, SitePersistRead}
+	out := []string{SiteTrace, SiteSim, SitePower, SiteDEG, SiteDEGStream, SitePersistWrite, SitePersistRead}
 	sort.Strings(out)
 	return out
 }

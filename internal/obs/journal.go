@@ -74,11 +74,15 @@ type EvalSpan struct {
 	// keeping older journals parseable and golden files unchanged.
 	SimInsts int64 `json:"sim_insts,omitempty"`
 	// Durations vary run to run; every other field is deterministic.
-	TraceNS   int64 `json:"trace_ns"`
-	SimNS     int64 `json:"sim_ns"`
-	PowerNS   int64 `json:"power_ns"`
-	DEGNS     int64 `json:"deg_ns"`
-	ElapsedNS int64 `json:"elapsed_ns"`
+	TraceNS int64 `json:"trace_ns"`
+	SimNS   int64 `json:"sim_ns"`
+	PowerNS int64 `json:"power_ns"`
+	DEGNS   int64 `json:"deg_ns"`
+	// DEGStreamNS is the fused simulate+analyze stage of streamed
+	// evaluations, which leaves SimNS and DEGNS zero; omitted on buffered
+	// runs so their journals are byte-identical to before.
+	DEGStreamNS int64 `json:"deg_stream_ns,omitempty"`
+	ElapsedNS   int64 `json:"elapsed_ns"`
 }
 
 // Kind implements Event.

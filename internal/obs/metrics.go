@@ -46,6 +46,10 @@ const (
 	MetricStageSim      = "archx_stage_sim_seconds"
 	MetricStagePower    = "archx_stage_power_seconds"
 	MetricStageDEG      = "archx_stage_deg_seconds"
+	// MetricStageDEGStream is the fused simulate+analyze stage of the
+	// streaming sim->DEG pipeline (replaces the sim and deg histograms on
+	// streamed evaluations).
+	MetricStageDEGStream = "archx_stage_deg_stream_seconds"
 	MetricSimInsts      = "archx_sim_insts_total"    // instructions committed by the cycle-level simulator
 	MetricSimInstRate   = "archx_sim_insts_per_sec"  // throughput of the most recent simulation (gauge)
 	MetricDEGWindows    = "archx_deg_windows"              // windows of the last windowed analysis (gauge)

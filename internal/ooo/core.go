@@ -142,10 +142,12 @@ type Core struct {
 	// release the stalled front end (-1 when the front end is healthy).
 	pendingRedirectSeq int
 
-	// Per-run recording state: the trace under construction and whether
-	// this run elides the DEG-only annotations (probe-lite).
-	tr   *pipetrace.Trace
-	lite bool
+	// Per-run recording state: the arena the current record's annotations
+	// intern into — the batch trace's in Run, the current chunk's in
+	// RunStream — and whether this run elides the DEG-only annotations
+	// (probe-lite).
+	arena *pipetrace.Arena
+	lite  bool
 
 	stats Stats
 }
@@ -241,7 +243,7 @@ func (c *Core) run(stream []isa.Inst, lite bool) (*pipetrace.Trace, *Stats, erro
 		return nil, nil, fmt.Errorf("ooo: empty instruction stream")
 	}
 	tr := pipetrace.GetTrace(len(stream))
-	c.tr = tr
+	c.arena = &tr.Arena
 	c.lite = lite
 
 	for seq := range stream {
@@ -256,11 +258,18 @@ func (c *Core) run(stream []isa.Inst, lite bool) (*pipetrace.Trace, *Stats, erro
 
 		tr.Records = append(tr.Records, rec)
 	}
-	c.tr = nil
-	c.stats.Fetched += uint64(len(stream))
-	c.stats.Committed += uint64(len(stream))
-	tr.Cycles = c.lastC + 1 // cycles are 0-based stamps
-	c.stats.Cycles = tr.Cycles
+	c.arena = nil
+	c.finalizeStats(len(stream))
+	tr.Cycles = c.stats.Cycles
+	return tr, &c.stats, nil
+}
+
+// finalizeStats fills the end-of-run counters after n committed
+// instructions. Cycles are 0-based stamps, so the total is lastC+1.
+func (c *Core) finalizeStats(n int) {
+	c.stats.Fetched += uint64(n)
+	c.stats.Committed += uint64(n)
+	c.stats.Cycles = c.lastC + 1
 	c.stats.ICacheAccesses = c.hier.L1I.Accesses
 	c.stats.ICacheMisses = c.hier.L1I.Misses
 	c.stats.DCacheAccesses = c.hier.L1D.Accesses
@@ -269,7 +278,6 @@ func (c *Core) run(stream []isa.Inst, lite bool) (*pipetrace.Trace, *Stats, erro
 	c.stats.L2Misses = c.hier.L2.Misses
 	c.stats.BranchLookups = c.pred.Lookups
 	c.stats.Mispredicts = c.pred.Mispredicts
-	return tr, &c.stats, nil
 }
 
 // fetch resolves F1/F2/F for one instruction, handling fetch grouping,
@@ -395,7 +403,7 @@ func (c *Core) rename(in *isa.Inst, rec *pipetrace.Record) {
 		ready = max(ready, t)
 	}
 	if deps > 0 {
-		rec.ResourceDeps = c.tr.InternDeps(depBuf[:deps])
+		rec.ResourceDeps = c.arena.InternDeps(depBuf[:deps])
 	}
 
 	r := c.renameBW.book(ready)
@@ -440,7 +448,7 @@ func (c *Core) schedule(in *isa.Inst, rec *pipetrace.Record) {
 		base = max(base, t)
 	}
 	if prods > 0 {
-		rec.DataProducers = c.tr.InternProducers(prodBuf[:prods])
+		rec.DataProducers = c.arena.InternProducers(prodBuf[:prods])
 	}
 
 	// Functional unit.

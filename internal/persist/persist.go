@@ -104,25 +104,31 @@ type StageTimesJSON struct {
 	SimNS   int64 `json:"sim_ns"`
 	PowerNS int64 `json:"power_ns"`
 	DEGNS   int64 `json:"deg_ns"`
+	// DEGStreamNS is the fused simulate+analyze stage of streamed
+	// evaluations; omitted when zero so buffered-campaign checkpoints stay
+	// byte-identical to pre-streaming builds.
+	DEGStreamNS int64 `json:"deg_stream_ns,omitempty"`
 }
 
 // FromStageTimes converts evaluator stage totals.
 func FromStageTimes(st dse.StageTimes) StageTimesJSON {
 	return StageTimesJSON{
-		TraceNS: st.Trace.Nanoseconds(),
-		SimNS:   st.Sim.Nanoseconds(),
-		PowerNS: st.Power.Nanoseconds(),
-		DEGNS:   st.DEG.Nanoseconds(),
+		TraceNS:     st.Trace.Nanoseconds(),
+		SimNS:       st.Sim.Nanoseconds(),
+		PowerNS:     st.Power.Nanoseconds(),
+		DEGNS:       st.DEG.Nanoseconds(),
+		DEGStreamNS: st.DEGStream.Nanoseconds(),
 	}
 }
 
 // ToStageTimes is the inverse of FromStageTimes.
 func (st StageTimesJSON) ToStageTimes() dse.StageTimes {
 	return dse.StageTimes{
-		Trace: time.Duration(st.TraceNS),
-		Sim:   time.Duration(st.SimNS),
-		Power: time.Duration(st.PowerNS),
-		DEG:   time.Duration(st.DEGNS),
+		Trace:     time.Duration(st.TraceNS),
+		Sim:       time.Duration(st.SimNS),
+		Power:     time.Duration(st.PowerNS),
+		DEG:       time.Duration(st.DEGNS),
+		DEGStream: time.Duration(st.DEGStreamNS),
 	}
 }
 

@@ -1,0 +1,57 @@
+package pipetrace
+
+import "sync"
+
+// Chunk is one fixed-size batch of committed-instruction records in the
+// streaming sim→DEG pipeline. The simulator fills a chunk — records plus
+// the arena their annotation slices are interned into — and hands it to
+// the analysis sink; ownership passes with the handoff.
+//
+// Ownership rules (the streaming pipeline's memory contract):
+//
+//   - The producer (simulator) owns a chunk from GetChunk until its sink
+//     callback returns; it must not touch the chunk afterwards.
+//   - The consumer (stream analyzer) owns it from the sink call until it
+//     calls Release — which it may only do once no retained Record (or
+//     annotation subslice) from the chunk can be read again.
+//   - Release recycles the chunk's storage through a pool shared with
+//     future chunks, so a late read after Release observes another
+//     simulation's records; the analyzer therefore holds every chunk
+//     whose records overlap a still-unanalyzed window.
+type Chunk struct {
+	// Records hold globally sequenced committed instructions: Seq is the
+	// commit index in the whole run, not the chunk.
+	Records []Record
+
+	// Arena backs the records' annotation slices, exactly as a Trace's
+	// arena backs a batch run's records.
+	Arena
+}
+
+var chunkPool sync.Pool
+
+// GetChunk returns an empty chunk whose record storage can hold at least
+// capacity records without growing, reusing a released chunk when one is
+// available.
+func GetChunk(capacity int) *Chunk {
+	if v := chunkPool.Get(); v != nil {
+		c := v.(*Chunk)
+		if cap(c.Records) < capacity {
+			c.Records = make([]Record, 0, capacity)
+		}
+		return c
+	}
+	return &Chunk{Records: make([]Record, 0, capacity)}
+}
+
+// Release resets the chunk and returns its storage to the pool. The caller
+// must not touch the chunk — or any Record or annotation slice obtained
+// from it — afterwards. Nil-safe.
+func (c *Chunk) Release() {
+	if c == nil {
+		return
+	}
+	c.Records = c.Records[:0]
+	c.Arena.reset()
+	chunkPool.Put(c)
+}

@@ -159,49 +159,19 @@ type Trace struct {
 	Records []Record
 	Cycles  int64 // total simulated cycles (commit time of the last instruction)
 
-	// Arena backing for the records' annotation slices. Records hold
-	// three-index subslices of these, so the arenas live exactly as long
-	// as the records that point into them.
-	deps  []ResourceDep
-	prods []int
-}
+	// Arena is the backing storage for the records' annotation slices.
+	// Records hold three-index subslices of it, so the arena lives exactly
+	// as long as the records that point into it.
+	Arena
 
-// InternDeps copies a record's resource dependences into the trace-owned
-// arena and returns a stable full-capacity subslice (nil for no deps). The
-// returned slice is content-identical to an independently allocated copy;
-// only its backing storage is shared with the trace.
-func (t *Trace) InternDeps(src []ResourceDep) []ResourceDep {
-	if len(src) == 0 {
-		return nil
-	}
-	if cap(t.deps)-len(t.deps) < len(src) {
-		c := 2 * cap(t.deps)
-		if c < 1024 {
-			c = 1024
-		}
-		// The retired chunk stays referenced by earlier records.
-		t.deps = make([]ResourceDep, 0, c)
-	}
-	start := len(t.deps)
-	t.deps = append(t.deps, src...)
-	return t.deps[start:len(t.deps):len(t.deps)]
-}
-
-// InternProducers is InternDeps for data-producer sequence numbers.
-func (t *Trace) InternProducers(src []int) []int {
-	if len(src) == 0 {
-		return nil
-	}
-	if cap(t.prods)-len(t.prods) < len(src) {
-		c := 2 * cap(t.prods)
-		if c < 1024 {
-			c = 1024
-		}
-		t.prods = make([]int, 0, c)
-	}
-	start := len(t.prods)
-	t.prods = append(t.prods, src...)
-	return t.prods[start:len(t.prods):len(t.prods)]
+	// refs counts the owners that may still read this trace; see Retain.
+	// A plain int32 driven by sync/atomic functions (not atomic.Int32) so
+	// value copies of ad-hoc traces keep working; pooled traces are never
+	// copied. pooled marks traces that came from GetTrace: only those are
+	// refcounted and recycled — a zero-valued &Trace{} resets on Release
+	// but never enters the pool.
+	refs   int32
+	pooled bool
 }
 
 // Span returns the wall-clock interval the trace covers: last commit minus

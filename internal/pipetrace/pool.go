@@ -1,6 +1,9 @@
 package pipetrace
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // tracePool recycles Trace buffers — the records array plus the annotation
 // arenas — across simulator runs. Repeated evaluations of the same trace
@@ -9,34 +12,90 @@ import "sync"
 // windowed analyzer.
 var tracePool sync.Pool
 
+// PoolStats counts trace-pool traffic. The counters exist so tests can
+// assert lifecycle invariants — every acquired trace is eventually
+// released even when stage timeouts abandon readers — without poking at
+// sync.Pool internals; they are three atomic adds per simulator run, far
+// off the per-record hot path.
+type PoolStats struct {
+	// Gets counts GetTrace calls; Puts counts traces actually returned to
+	// the pool by the final Release. Gets - Puts is the number of live
+	// (pool-owned, unreleased) traces.
+	Gets, Puts int64
+	// Retains counts Retain calls (extra references taken on live traces).
+	Retains int64
+}
+
+var poolGets, poolPuts, poolRetains atomic.Int64
+
+// TracePoolStats returns a snapshot of the pool counters.
+func TracePoolStats() PoolStats {
+	return PoolStats{
+		Gets:    poolGets.Load(),
+		Puts:    poolPuts.Load(),
+		Retains: poolRetains.Load(),
+	}
+}
+
 // GetTrace returns an empty trace whose record storage can hold at least
 // capacity records without growing, reusing a released trace when one is
-// available. Callers that finish with the trace — and can prove no other
-// goroutine still reads it — should hand it back with Release; callers that
-// keep the trace alive simply never release it, and the pool stays out of
-// the picture.
+// available. The trace starts with one reference — the caller's ownership.
+// Callers that finish with the trace hand it back with Release; code that
+// needs the trace to outlive the owner (an abandoned timed-out analysis
+// attempt, a concurrent reader) takes its own reference with Retain and
+// pairs it with Release, and the storage recycles when the last reference
+// drops.
 func GetTrace(capacity int) *Trace {
+	poolGets.Add(1)
 	if v := tracePool.Get(); v != nil {
 		t := v.(*Trace)
 		if cap(t.Records) < capacity {
 			t.Records = make([]Record, 0, capacity)
 		}
+		atomic.StoreInt32(&t.refs, 1)
+		t.pooled = true
 		return t
 	}
-	return &Trace{Records: make([]Record, 0, capacity)}
+	t := &Trace{Records: make([]Record, 0, capacity), refs: 1, pooled: true}
+	return t
 }
 
-// Release resets the trace and returns its storage to the pool. The caller
-// must not touch the trace — or any Record or annotation slice obtained
-// from it — after Release: the next GetTrace may hand the same backing
-// storage to a concurrent simulation.
+// Retain takes an additional reference on the trace, keeping its storage
+// out of the pool until a matching Release. It must be called while the
+// caller already holds a live reference (taking a reference on a trace
+// whose last Release already ran is a use-after-free). Nil-safe.
+func (t *Trace) Retain() {
+	if t == nil {
+		return
+	}
+	poolRetains.Add(1)
+	atomic.AddInt32(&t.refs, 1)
+}
+
+// Release drops one reference; the last Release resets the trace and
+// returns its storage to the pool. The dropping caller must not touch the
+// trace — or any Record or annotation slice obtained from it — after
+// Release: once the final reference drops, the next GetTrace may hand the
+// same backing storage to a concurrent simulation.
+//
+// Traces constructed directly (&Trace{}, not via GetTrace) carry no pool
+// reference; Release resets them without pooling, preserving the old
+// contract for such one-off traces.
 func (t *Trace) Release() {
 	if t == nil {
 		return
 	}
+	if t.pooled {
+		if atomic.AddInt32(&t.refs, -1) > 0 {
+			return
+		}
+	}
 	t.Records = t.Records[:0]
 	t.Cycles = 0
-	t.deps = t.deps[:0]
-	t.prods = t.prods[:0]
-	tracePool.Put(t)
+	t.Arena.reset()
+	if t.pooled {
+		t.pooled = false
+		poolPuts.Add(1)
+		tracePool.Put(t)
+	}
 }
