@@ -14,8 +14,9 @@ GO ?= go
 COVER_MIN_OBS := 85
 COVER_MIN_DSE := 80
 COVER_MIN_FAULT := 90
+COVER_MIN_SELFDEG := 80
 
-.PHONY: build vet test race cover fuzz-seeds bench bench-deg bench-sim bench-sim-smoke bench-pipeline bench-pipeline-smoke bench-all profile-sim ci
+.PHONY: build vet test race cover fuzz-seeds bench bench-deg bench-sim bench-sim-smoke bench-pipeline bench-pipeline-smoke bench-spans bench-all profile-sim ci
 
 build:
 	$(GO) build ./...
@@ -39,7 +40,8 @@ cover:
 	}; \
 	check obs $(COVER_MIN_OBS); \
 	check dse $(COVER_MIN_DSE); \
-	check fault $(COVER_MIN_FAULT)
+	check fault $(COVER_MIN_FAULT); \
+	check selfdeg $(COVER_MIN_SELFDEG)
 
 # A short randomized pass over the campaign-file reader, on top of the
 # checked-in seed corpus that `make test` already replays.
@@ -79,11 +81,22 @@ bench-pipeline:
 bench-pipeline-smoke:
 	$(GO) test -bench='BenchmarkPipeline(Buffered|Stream)$$' -benchtime=1x -run XXX .
 
+# Span-instrumentation overhead gate: the fused pipeline with the
+# evaluator's full per-evaluation span capture must stay within 2% of the
+# uninstrumented pipeline measured in the SAME run (benchgate's bench:
+# baseline), so host speed cancels out of the comparison.
+bench-spans:
+	$(GO) build -o benchgate ./cmd/benchgate
+	$(GO) test -bench='BenchmarkPipelineStream(Spans)?$$' -run XXX -count 1 . | \
+	  ./benchgate -tolerance 0.02 \
+	    -expect 'BenchmarkPipelineStreamSpans=bench:BenchmarkPipelineStream'
+
 # Every benchmark family, gated against the committed baselines: fails if
 # simulator or pipeline throughput lands more than 10% below what
 # BENCH_sim.json / BENCH_pipeline.json record for the reference host.
 # Re-baseline (re-run bench-sim / bench-pipeline and update the JSONs)
-# when a deliberate change moves the numbers.
+# when a deliberate change moves the numbers. The span-overhead gate rides
+# along: span capture must cost <2% of same-run pipeline throughput.
 bench-all:
 	$(GO) build -o benchgate ./cmd/benchgate
 	$(GO) test -bench='BenchmarkSim(Full|Lite)$$|BenchmarkDEG|BenchmarkPipeline(Buffered|Stream)$$' -benchmem -run XXX -count 1 . | \
@@ -92,6 +105,7 @@ bench-all:
 	    -expect 'BenchmarkSimLite=BENCH_sim.json:after_lite.inst_per_sec' \
 	    -expect 'BenchmarkPipelineBuffered=BENCH_pipeline.json:before.inst_per_sec' \
 	    -expect 'BenchmarkPipelineStream=BENCH_pipeline.json:after.inst_per_sec'
+	$(MAKE) bench-spans
 
 # CPU profile of the full-fidelity simulator benchmark. Inspect with
 #   go tool pprof -top sim.pprof

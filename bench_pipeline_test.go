@@ -14,11 +14,13 @@
 package archexplorer
 
 import (
+	"io"
 	"runtime"
 	"testing"
 
 	"archexplorer/internal/deg"
 	"archexplorer/internal/isa"
+	"archexplorer/internal/obs"
 	"archexplorer/internal/ooo"
 	"archexplorer/internal/pipetrace"
 	"archexplorer/internal/uarch"
@@ -115,6 +117,51 @@ func BenchmarkPipelineStream(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		runStreamed(b, cfg, stream, nil)
+	}
+	b.ReportMetric(float64(len(stream))*float64(b.N)/b.Elapsed().Seconds(), "inst/s")
+}
+
+// BenchmarkPipelineStreamSpans is BenchmarkPipelineStream plus exactly the
+// per-evaluation span-instrumentation work the evaluator performs when a
+// journal is attached: clock reads and live-track calls around each stage,
+// and the commit-phase emission of the stage/eval/batch span events into a
+// journal. The bench-spans Makefile target gates this against the
+// uninstrumented BenchmarkPipelineStream of the same run (benchgate's
+// bench: baseline), requiring the overhead to stay under 2% — the span
+// layer must be free enough to leave on for every journaled campaign.
+func BenchmarkPipelineStreamSpans(b *testing.B) {
+	stream := pipelineStream(b, 20000)
+	cfg := uarch.Baseline()
+	rec := obs.New()
+	rec.SetJournalWriter(io.Discard)
+	stages := []string{"trace", "deg_stream", "power"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Worker side: per-stage clock reads and live-tracking hooks, with
+		// the span records accumulated exactly like dse's stage capture.
+		spans := make([]obs.SpanEvent, 0, len(stages))
+		for _, name := range stages {
+			start := rec.Clock()
+			done := rec.TrackSpan(obs.SpanStage, name, "458.sjeng", 1)
+			if name == "deg_stream" {
+				runStreamed(b, cfg, stream, nil)
+			}
+			done()
+			spans = append(spans, obs.SpanEvent{
+				SpanKind: obs.SpanStage, Name: name, Workload: "458.sjeng",
+				Worker: 1, StartNS: start, DurNS: rec.Clock() - start,
+			})
+		}
+		// Commit side: id assignment and journal emission, children first.
+		batch := rec.NextSpan()
+		eval := rec.NextSpan()
+		for k := range spans {
+			spans[k].Span = rec.NextSpan()
+			spans[k].Parent = eval
+			rec.Emit(&spans[k])
+		}
+		rec.Emit(&obs.SpanEvent{Span: eval, Parent: batch, SpanKind: obs.SpanEval, Name: "bench"})
+		rec.Emit(&obs.SpanEvent{Span: batch, SpanKind: obs.SpanBatch, Name: "evaluate"})
 	}
 	b.ReportMetric(float64(len(stream))*float64(b.N)/b.Elapsed().Seconds(), "inst/s")
 }

@@ -82,9 +82,15 @@ func main() {
 		Time:  time.Now().Format(time.RFC3339),
 	})
 
+	// The campaign span is the root of the run's self-DEG: everything the
+	// evaluator and explorer emit parents under it, so obsreport
+	// -critical-path can attribute the whole wall-clock.
+	campaignSpan, endCampaign := rec.CampaignSpan("archexplorer/" + ex.Name())
+
 	ev := dse.NewEvaluator(uarch.StandardSpace(), suite, *traceLen)
 	ev.Parallelism = *parallel
 	ev.Obs = rec
+	ev.SpanParent = campaignSpan
 	resil.Apply(ev)
 	degf.Apply(ev)
 	if err := ckpt.Wire(ev, ex.Name(), strings.ToUpper(*suiteName), *budget, *seed, rec); err != nil {
@@ -111,6 +117,7 @@ func main() {
 		ev.Sims, len(pts), len(ev.Points()))
 	fmt.Printf("Pareto hypervolume: %.4f\n\n", hv)
 
+	endCampaign()
 	rec.Emit(&obs.RunEnd{
 		Tool: "archexplorer", Sims: ev.Sims, HV: hv,
 		ElapsedNS: time.Since(start).Nanoseconds(),

@@ -16,6 +16,14 @@
 // baseline inst/s. Benchmarks in the output without an -expect mapping are
 // ignored; a mapped benchmark missing from the output is an error, so a
 // renamed or deleted benchmark cannot silently drop out of the gate.
+//
+// A baseline ref may instead name another benchmark from the SAME run:
+//
+//	benchgate -tolerance 0.02 \
+//	    -expect 'BenchmarkPipelineStreamSpans=bench:BenchmarkPipelineStream'
+//
+// bench: refs gate relative overheads (instrumented vs uninstrumented)
+// without a committed number, so host speed cancels out of the comparison.
 package main
 
 import (
@@ -55,7 +63,7 @@ func main() {
 		if !ok {
 			check(fmt.Errorf("malformed -expect %q (want Bench=file.json:path)", e))
 		}
-		baseline, err := lookupBaseline(ref)
+		baseline, err := resolveBaseline(ref, measured)
 		check(err)
 		got, ok := measured[name]
 		if !ok {
@@ -107,6 +115,20 @@ func parseBench(r *os.File, metric string) (map[string]float64, error) {
 		}
 	}
 	return out, sc.Err()
+}
+
+// resolveBaseline resolves a baseline ref: "bench:Name" reads another
+// benchmark's value from the same run's measurements; anything else is a
+// "file.json:dotted.path" into a committed baseline file.
+func resolveBaseline(ref string, measured map[string]float64) (float64, error) {
+	if name, ok := strings.CutPrefix(ref, "bench:"); ok {
+		v, ok := measured[name]
+		if !ok {
+			return 0, fmt.Errorf("baseline benchmark %s not found in input", name)
+		}
+		return v, nil
+	}
+	return lookupBaseline(ref)
 }
 
 // lookupBaseline resolves "file.json:dotted.path" to a number inside the

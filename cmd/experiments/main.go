@@ -101,6 +101,10 @@ func main() {
 		Tool: "experiments", Budget: *budget, TraceLen: *traceLen,
 		Parallelism: *parallel, Time: time.Now().Format(time.RFC3339),
 	})
+	// Grid cells parent their spans under this run-wide campaign span, so
+	// the journal holds one self-DEG tree even for "-run all".
+	campaignSpan, endCampaign := rec.CampaignSpan("experiments")
+	opts.SpanParent = campaignSpan
 	for _, name := range names {
 		e, err := exp.Get(name)
 		cli.Check(err)
@@ -111,6 +115,7 @@ func main() {
 		}
 		fmt.Printf("(%s finished in %v)\n\n", e.Name, time.Since(expStart).Round(time.Millisecond))
 	}
+	endCampaign()
 	rec.Emit(&obs.RunEnd{
 		Tool: "experiments", ElapsedNS: time.Since(start).Nanoseconds(),
 		Metrics: rec.Registry().Snapshot(),

@@ -25,13 +25,15 @@ import (
 	"archexplorer/internal/cli"
 	"archexplorer/internal/obs"
 	"archexplorer/internal/pareto"
+	"archexplorer/internal/selfdeg"
 )
 
 func main() {
 	cli.Init("obsreport")
 	var (
-		steps = flag.Int("steps", 10, "budget steps in the hypervolume trajectory")
-		iters = flag.Int("iters", 40, "explorer iterations to list (0 = none, -1 = all)")
+		steps    = flag.Int("steps", 10, "budget steps in the hypervolume trajectory")
+		iters    = flag.Int("iters", 40, "explorer iterations to list (0 = none, -1 = all)")
+		critical = flag.Bool("critical-path", false, "print the campaign's own critical-path attribution from its span events instead of the stage report")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -43,7 +45,23 @@ func main() {
 	if len(events) == 0 {
 		cli.Fatalf("%s: empty journal", flag.Arg(0))
 	}
+	if *critical {
+		cli.Check(criticalPath(os.Stdout, events))
+		return
+	}
 	report(os.Stdout, events, *steps, *iters)
+}
+
+// criticalPath applies the repo's bottleneck method to the campaign
+// itself: rebuild the run's execution dependency graph from its span
+// events and attribute wall-clock to the longest path through it.
+func criticalPath(w io.Writer, events []obs.Event) error {
+	rep, err := selfdeg.Analyze(events)
+	if err != nil {
+		return err
+	}
+	rep.Format(w)
+	return nil
 }
 
 // report renders the whole journal story to w. Split from main so tests can

@@ -39,6 +39,57 @@ func TestRecoveryReportGolden(t *testing.T) {
 	}
 }
 
+// TestCriticalPathGolden pins obsreport -critical-path byte for byte on a
+// checked-in campaign journal with span events: the self-DEG attribution
+// must reproduce exactly on every analysis of the same journal.
+func TestCriticalPathGolden(t *testing.T) {
+	events, err := obs.LoadJournal(filepath.Join("testdata", "spans.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := criticalPath(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "spans.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (rerun with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("critical-path report drifted from golden file (rerun with -update to accept)\n--- got ---\n%s\n--- want ---\n%s",
+			buf.Bytes(), want)
+	}
+
+	// Re-analysis of the same events must render identically.
+	var again bytes.Buffer
+	if err := criticalPath(&again, events); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("critical-path report not reproducible within one process")
+	}
+}
+
+// TestCriticalPathWithoutSpans: pre-span journals get a clear error, and
+// the default report still renders for them.
+func TestCriticalPathWithoutSpans(t *testing.T) {
+	events := []obs.Event{
+		&obs.RunStart{Tool: "archexplorer", Budget: 4},
+		&obs.EvalSpan{Span: 1, SimsAt: 2, Perf: 1, PowerW: 1, AreaMM2: 10},
+		&obs.RunEnd{Tool: "archexplorer", Sims: 4},
+	}
+	if err := criticalPath(&bytes.Buffer{}, events); err == nil {
+		t.Fatal("span-less journal did not error")
+	}
+}
+
 // TestReportWithoutRecoveryEvents: a journal with no fault/checkpoint/
 // resume events renders no recovery section at all.
 func TestReportWithoutRecoveryEvents(t *testing.T) {

@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"fmt"
 	"math/rand"
 
 	"archexplorer/internal/mcpat"
@@ -170,6 +171,31 @@ func (a *ArchExplorer) walk(ev *Evaluator, rng *rand.Rand, budget, walkIdx int) 
 
 	e := e0
 	for step := 1; ev.Sims < float64(budget); step++ {
+		// Iteration span: wraps the resize decision and the probe, so the
+		// step's probe batch parents to it. The id is allocated here on the
+		// driving goroutine (deterministic order) and the event emitted at
+		// every exit from the step; SpanParent is restored before finish()
+		// so the full-fidelity re-evaluations parent to the campaign.
+		spanParent := ev.SpanParent
+		var iterSpan, iterStart int64
+		if ev.Obs.JournalEnabled() {
+			iterSpan = ev.Obs.NextSpan()
+			iterStart = ev.Obs.Clock()
+			ev.SpanParent = iterSpan
+		}
+		endIter := func() {
+			if iterSpan == 0 {
+				return
+			}
+			ev.Obs.Emit(&obs.SpanEvent{
+				Span: iterSpan, Parent: spanParent, SpanKind: obs.SpanIteration,
+				Name:    fmt.Sprintf("w%d.s%d", walkIdx, step),
+				StartNS: iterStart, DurNS: ev.Obs.Clock() - iterStart,
+			})
+			ev.SpanParent = spanParent
+			iterSpan = 0
+		}
+
 		next := pt
 		changed := false
 		lastGrown = map[uarch.Resource]bool{}
@@ -253,6 +279,7 @@ func (a *ArchExplorer) walk(ev *Evaluator, rng *rand.Rand, budget, walkIdx int) 
 		}
 
 		if !changed || next == pt {
+			endIter()
 			return finish() // nothing movable: restart
 		}
 		pt = next
@@ -266,12 +293,14 @@ func (a *ArchExplorer) walk(ev *Evaluator, rng *rand.Rand, budget, walkIdx int) 
 
 		e, err = probe(pt)
 		if err != nil {
+			endIter()
 			return err
 		}
 		if e.Failed {
 			// The probe for this step was degraded to a skip; without a
 			// bottleneck report the walk cannot continue, so its best
 			// designs are harvested and the explorer restarts.
+			endIter()
 			return finish()
 		}
 		improved := e.PPA.Perf > bestIPC*1.002 && e.PPA.Power <= envPower
@@ -299,6 +328,7 @@ func (a *ArchExplorer) walk(ev *Evaluator, rng *rand.Rand, budget, walkIdx int) 
 				BestIPC:  bestIPC,
 			})
 		}
+		endIter()
 		if stale >= a.Patience {
 			return finish()
 		}

@@ -193,12 +193,22 @@ type Evaluator struct {
 
 	// Obs, when non-nil, receives telemetry: cache and evaluation
 	// counters, the in-flight gauge, per-stage latency histograms, and —
-	// when a journal is attached — one EvalSpan per committed evaluation.
-	// Journal events are emitted exclusively from the commit phase, in
-	// commit order, so the event sequence is deterministic regardless of
-	// the worker fan-out; with Obs nil every result is byte-identical to
-	// an uninstrumented evaluator.
+	// when a journal is attached — one EvalSpan per committed evaluation
+	// plus the hierarchical batch/eval/stage SpanEvents the selfdeg
+	// analysis consumes. Journal events are emitted exclusively from the
+	// commit phase, in commit order, so the event sequence is deterministic
+	// regardless of the worker fan-out; with Obs nil every result is
+	// byte-identical to an uninstrumented evaluator.
 	Obs *obs.Recorder
+
+	// SpanParent is the journal span id the evaluator's batch spans parent
+	// to: the campaign span (set once by the driving tool) or the current
+	// iteration span (set and restored around each explorer step, on the
+	// driving goroutine). 0 — no parent — simply roots the batches.
+	SpanParent int64
+
+	// slots assigns worker-slot numbers to stage spans (see spans.go).
+	slots slotTracker
 
 	// Faults is the injected failure plan driving the fault-tolerance test
 	// harness; nil (the default) injects nothing. Each pipeline stage
@@ -364,6 +374,13 @@ type job struct {
 	// faults are the retry/timeout records collected by this job's workers,
 	// flattened in suite order by reduce and journaled at commit.
 	faults []obs.FaultEvent
+	// spans are the stage spans collected by this job's workers (ids
+	// unassigned), flattened in suite order by reduce and emitted at
+	// commit; startNS is the job's compute start on the recorder clock.
+	spans    []obs.SpanEvent
+	startNS  int64
+	durNS    int64
+	replayed bool
 }
 
 // batch implements Evaluate/Probe/EvaluateBatch/ProbeBatch: resolve cache
@@ -371,6 +388,20 @@ type job struct {
 // request order so History, Sims, and SimsAt match sequential operation.
 func (ev *Evaluator) batch(pts []uarch.Point, withDEG, probe bool) ([]*Evaluation, error) {
 	out := make([]*Evaluation, len(pts))
+
+	// Span capture starts before cache resolution so the batch span covers
+	// the whole call; it is measurement only — ids are allocated and events
+	// emitted from the commit phase below.
+	rec := ev.Obs
+	batchName := "evaluate"
+	if probe {
+		batchName = "probe"
+	}
+	var batchStart int64
+	if len(pts) > 0 && rec.SpansActive() {
+		batchStart = rec.Clock()
+		defer rec.TrackSpan(obs.SpanBatch, batchName, "", 0)()
+	}
 
 	// Phase 1: resolve hits and dedupe misses in first-occurrence order.
 	ev.mu.Lock()
@@ -430,7 +461,14 @@ func (ev *Evaluator) batch(pts []uarch.Point, withDEG, probe bool) ([]*Evaluatio
 	// sequential loop would have finished them — assigning SimsAt and
 	// History position deterministically. Telemetry is emitted here and
 	// only here (never from workers), so the journal's event order is the
-	// commit order and therefore reproducible run to run.
+	// commit order and therefore reproducible run to run. The batch span
+	// id is allocated first, before any eval span, so the id sequence is
+	// deterministic too; its event is emitted last, after its children —
+	// readers see a post-order traversal of the span tree.
+	var batchSpan int64
+	if len(pts) > 0 && rec.JournalEnabled() {
+		batchSpan = rec.NextSpan()
+	}
 	committed := false
 	for _, j := range jobs {
 		if j.err != nil && (fault.IsKill(j.err) || !ev.SkipFailures) {
@@ -472,7 +510,7 @@ func (ev *Evaluator) batch(pts []uarch.Point, withDEG, probe bool) ([]*Evaluatio
 			ev.cache[j.key] = j.e
 		}
 		ev.mu.Unlock()
-		ev.obsCommit(j)
+		ev.obsCommit(j, batchSpan)
 		for _, i := range j.slots {
 			out[i] = j.e
 		}
@@ -481,14 +519,24 @@ func (ev *Evaluator) batch(pts []uarch.Point, withDEG, probe bool) ([]*Evaluatio
 	if committed && ev.Checkpoint != nil {
 		ev.Checkpoint()
 	}
+	if batchSpan != 0 {
+		rec.Emit(&obs.SpanEvent{
+			Span: batchSpan, Parent: ev.SpanParent, SpanKind: obs.SpanBatch,
+			Name: batchName, Hits: len(pts) - len(jobs),
+			StartNS: batchStart, DurNS: rec.Clock() - batchStart,
+		})
+	}
 	return out, nil
 }
 
 // obsCommit records one committed job on the telemetry recorder: counters,
 // the budget gauge, and — when a journal is attached — the evaluation's
-// span. Runs on the committing goroutine, after the job left the critical
+// EvalSpan plus its stage SpanEvents and the eval SpanEvent that parents
+// them to the batch (children first, parent last). The eval SpanEvent
+// reuses the EvalSpan's id, so the two views of one evaluation join on it.
+// Runs on the committing goroutine, after the job left the critical
 // section; a nil recorder makes it a no-op.
-func (ev *Evaluator) obsCommit(j *job) {
+func (ev *Evaluator) obsCommit(j *job, batchSpan int64) {
 	rec := ev.Obs
 	if rec == nil {
 		return
@@ -525,6 +573,23 @@ func (ev *Evaluator) obsCommit(j *job) {
 			Site: e.FailSite, Class: fault.Permanent.String(), Action: "skip",
 			Point: append([]int(nil), e.Point[:]...), Err: e.FailReason,
 		})
+		if batchSpan != 0 {
+			// Failed evaluations still occupy campaign wall-clock; an eval
+			// span (with whatever stage spans completed before the failure)
+			// keeps the selfdeg graph's coverage complete.
+			id := rec.NextSpan()
+			for i := range j.spans {
+				s := j.spans[i] // copy: Emit assigns the Head in place
+				s.Span = rec.NextSpan()
+				s.Parent = id
+				rec.Emit(&s)
+			}
+			rec.Emit(&obs.SpanEvent{
+				Span: id, Parent: batchSpan, SpanKind: obs.SpanEval,
+				Name: e.Config.String(), Point: append([]int(nil), e.Point[:]...),
+				Cache: "failed", StartNS: j.startNS, DurNS: j.durNS,
+			})
+		}
 		return
 	}
 	span := rec.NextSpan()
@@ -559,6 +624,27 @@ func (ev *Evaluator) obsCommit(j *job) {
 		DEGStreamNS:  e.Times.DEGStream.Nanoseconds(),
 		ElapsedNS:    e.Elapsed.Nanoseconds(),
 	})
+	if batchSpan == 0 {
+		return
+	}
+	for i := range j.spans {
+		s := j.spans[i] // copy: Emit assigns the Head in place
+		s.Span = rec.NextSpan()
+		s.Parent = span
+		rec.Emit(&s)
+	}
+	cache := ""
+	switch {
+	case j.upgrade:
+		cache = "upgrade"
+	case j.replayed:
+		cache = "replay"
+	}
+	rec.Emit(&obs.SpanEvent{
+		Span: span, Parent: batchSpan, SpanKind: obs.SpanEval,
+		Name: e.Config.String(), Point: append([]int(nil), e.Point[:]...),
+		Cache: cache, StartNS: j.startNS, DurNS: j.durNS,
+	})
 }
 
 // leafGate returns the executor for CPU-bound per-workload tasks: the
@@ -592,13 +678,22 @@ type wlResult struct {
 	err            error
 	// faults are the slot's retry/timeout records, in occurrence order.
 	faults []obs.FaultEvent
+	// spans are the slot's stage spans, in stage order (ids unassigned).
+	spans []obs.SpanEvent
 }
 
 // compute runs one job: simulate every workload (concurrently when leaf is
 // non-nil), then reduce the per-workload slots in suite order. A job whose
 // outcome is in the checkpoint replay store skips simulation entirely.
 func (ev *Evaluator) compute(j *job, probe bool, leaf func(func())) {
+	// Span interval on the recorder clock (0s with telemetry off). Taken
+	// here rather than from Elapsed so every path — replay, validation
+	// error, permanent failure — still yields a well-formed interval that
+	// contains its stage spans.
+	j.startNS = ev.Obs.Clock()
+	defer func() { j.durNS = ev.Obs.Clock() - j.startNS }()
 	if ev.serveRestored(j, probe) {
+		j.replayed = true
 		return
 	}
 	start := time.Now()
@@ -667,7 +762,17 @@ func (ev *Evaluator) simWorkload(cfg uarch.Config, wl workload.Profile, traceLen
 	// the static graph, so both keep the buffered path.
 	streamed := withDEG && ev.DEGStream && !ev.UseCalipers && !probe
 	sr := &stageRunner{ev: ev, workload: wl.Name}
-	// r is a named result so this runs after any return statement's copy.
+	// Stage span capture (journal and/or live dashboard): occupy a worker
+	// slot for the duration of this workload and time each stage against
+	// the recorder clock. Off, it costs one atomic load.
+	sp := &stageSpans{rec: ev.Obs, wl: wl.Name}
+	if ev.Obs.SpansActive() {
+		sp.on = true
+		sp.slot = ev.slots.acquire()
+		defer ev.slots.release(sp.slot)
+	}
+	// r is a named result so these run after any return statement's copy.
+	defer func() { r.spans = sp.out }()
 	defer func() { r.faults = sr.recs }()
 	// Worker-phase telemetry: the in-flight gauge and latency histograms
 	// are unordered aggregates, so they may be updated here; journal
@@ -703,20 +808,23 @@ func (ev *Evaluator) simWorkload(cfg uarch.Config, wl workload.Profile, traceLen
 		}()
 	}
 
+	endStage := sp.begin("trace")
 	t0 := time.Now()
 	stream, err := runStage(sr, fault.SiteTrace, func() ([]isa.Inst, error) {
 		return workload.CachedTrace(wl, traceLen)
 	})
 	r.times.Trace = time.Since(t0)
+	endStage(r.times.Trace)
 	if err != nil {
 		r.err = err
 		return r
 	}
 
 	if streamed {
-		return ev.simWorkloadStreamed(r, sr, cfg, wl, stream)
+		return ev.simWorkloadStreamed(r, sp, sr, cfg, wl, stream)
 	}
 
+	endStage = sp.begin("sim")
 	t0 = time.Now()
 	sim, err := runStageGuarded(sr, fault.SiteSim, nil,
 		// A timed-out attempt's late trace has no receiver; recycle it.
@@ -746,6 +854,7 @@ func (ev *Evaluator) simWorkload(cfg uarch.Config, wl workload.Profile, traceLen
 			return simOutcome{tr: tr, stats: stats}, nil
 		})
 	r.times.Sim = time.Since(t0)
+	endStage(r.times.Sim)
 	if err != nil {
 		r.err = err
 		return r
@@ -760,11 +869,13 @@ func (ev *Evaluator) simWorkload(cfg uarch.Config, wl workload.Profile, traceLen
 	// and no evaluation leaks its trace.
 	defer tr.Release()
 
+	endStage = sp.begin("power")
 	t0 = time.Now()
 	pw, err := runStage(sr, fault.SitePower, func() (mcpat.Result, error) {
 		return mcpat.Evaluate(cfg, stats)
 	})
 	r.times.Power = time.Since(t0)
+	endStage(r.times.Power)
 	if err != nil {
 		r.err = err
 		return r
@@ -779,6 +890,7 @@ func (ev *Evaluator) simWorkload(cfg uarch.Config, wl workload.Profile, traceLen
 	r.area = pw.AreaMM2
 
 	if withDEG {
+		endStage = sp.begin("deg")
 		t0 = time.Now()
 		dout, err := runStageGuarded(sr, fault.SiteDEG,
 			// Each attempt reads tr and may outlive this function when a
@@ -809,6 +921,7 @@ func (ev *Evaluator) simWorkload(cfg uarch.Config, wl workload.Profile, traceLen
 				return degOutcome{rep: rep, drops: int64(g.Dropped())}, nil
 			})
 		r.times.DEG = time.Since(t0)
+		endStage(r.times.DEG)
 		if err != nil {
 			r.err = err
 			return r
@@ -838,12 +951,14 @@ type streamOutcome struct {
 // fused stage runs the simulator and the windowed DEG analyzer as a
 // producer/consumer pair over a bounded chunk channel, then the power model
 // runs on the stats as usual. No full trace is ever materialized.
-func (ev *Evaluator) simWorkloadStreamed(r wlResult, sr *stageRunner, cfg uarch.Config, wl workload.Profile, stream []isa.Inst) wlResult {
+func (ev *Evaluator) simWorkloadStreamed(r wlResult, sp *stageSpans, sr *stageRunner, cfg uarch.Config, wl workload.Profile, stream []isa.Inst) wlResult {
+	endStage := sp.begin("deg_stream")
 	t0 := time.Now()
 	so, err := runStage(sr, fault.SiteDEGStream, func() (streamOutcome, error) {
 		return ev.runStreamed(cfg, wl, stream)
 	})
 	r.times.DEGStream = time.Since(t0)
+	endStage(r.times.DEGStream)
 	if err != nil {
 		r.err = err
 		return r
@@ -854,11 +969,13 @@ func (ev *Evaluator) simWorkloadStreamed(r wlResult, sr *stageRunner, cfg uarch.
 	r.degPeakEdges = so.ws.PeakEdges
 	r.degDrops = int64(so.ws.Dropped())
 
+	endStage = sp.begin("power")
 	t0 = time.Now()
 	pw, err := runStage(sr, fault.SitePower, func() (mcpat.Result, error) {
 		return mcpat.Evaluate(cfg, so.stats)
 	})
 	r.times.Power = time.Since(t0)
+	endStage(r.times.Power)
 	if err != nil {
 		r.err = err
 		return r
@@ -960,9 +1077,12 @@ func warmWindowIPC(tr *pipetrace.Trace) (float64, bool) {
 // workload surfaces the lowest-index error, again deterministically.
 func (ev *Evaluator) reduce(j *job, probe bool, cfg uarch.Config, outs []wlResult) (*Evaluation, error) {
 	// Fault records flatten in suite order first — retries that preceded a
-	// failure are real events and must reach the journal either way.
+	// failure are real events and must reach the journal either way. Stage
+	// spans flatten in the same order, making the per-eval span sequence
+	// deterministic however the workers interleaved.
 	for k := range outs {
 		j.faults = append(j.faults, outs[k].faults...)
+		j.spans = append(j.spans, outs[k].spans...)
 	}
 	for k := range outs {
 		if outs[k].err != nil {

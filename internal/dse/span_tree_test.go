@@ -1,0 +1,139 @@
+package dse
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"archexplorer/internal/obs"
+)
+
+// spanShape is the deterministic projection of a SpanEvent: everything but
+// the measurements (StartNS, DurNS, Worker), which legitimately vary run
+// to run. Ids are included — they are allocated on the driving goroutine
+// in decision order, so they too must reproduce.
+type spanShape struct {
+	span, parent int64
+	kind, name   string
+	workload     string
+	point        string
+	cache        string
+	hits         int
+}
+
+func spanShapes(events []obs.Event) []spanShape {
+	var out []spanShape
+	for _, e := range events {
+		s, ok := e.(*obs.SpanEvent)
+		if !ok {
+			continue
+		}
+		out = append(out, spanShape{
+			span: s.Span, parent: s.Parent, kind: s.SpanKind, name: s.Name,
+			workload: s.Workload, point: fmt.Sprint(s.Point), cache: s.Cache, hits: s.Hits,
+		})
+	}
+	return out
+}
+
+// TestSpanTreeDeterministic is the span layer's ordering contract: a
+// parallel campaign must journal the same span tree — same ids, parents,
+// kinds, names, cache classifications, in the same order — as the
+// sequential run. Only durations, start offsets, and worker slots differ.
+func TestSpanTreeDeterministic(t *testing.T) {
+	_, seqEvents := runWithJournal(t, 1)
+	_, parEvents := runWithJournal(t, 4)
+	seq, par := spanShapes(seqEvents), spanShapes(parEvents)
+	if len(seq) == 0 {
+		t.Fatal("journal holds no span events")
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("span counts differ: sequential %d, parallel %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("span tree diverges at span %d:\n  seq: %+v\n  par: %+v", i, seq[i], par[i])
+		}
+	}
+}
+
+// TestSpanTreeStructure checks the emitted tree's invariants on a real
+// campaign journal: post-order emission (children precede parents), eval
+// spans sharing their id with the EvalSpan accounting event, stage spans
+// naming real stages and carrying worker slots, and batch/iteration spans
+// parenting correctly.
+func TestSpanTreeStructure(t *testing.T) {
+	ev, events := runWithJournal(t, 2)
+
+	evalAccounting := map[int64]bool{}
+	for _, e := range events {
+		if s, ok := e.(*obs.EvalSpan); ok {
+			evalAccounting[s.Span] = true
+		}
+	}
+
+	stageNames := map[string]bool{"trace": true, "sim": true, "power": true, "deg": true, "deg_stream": true}
+	seen := map[int64]string{} // span id -> kind, in journal order
+	counts := map[string]int{}
+	for _, e := range events {
+		s, ok := e.(*obs.SpanEvent)
+		if !ok {
+			continue
+		}
+		if s.Span <= 0 {
+			t.Fatalf("span without id: %+v", s)
+		}
+		if _, dup := seen[s.Span]; dup {
+			t.Fatalf("duplicate span id %d", s.Span)
+		}
+		if _, emitted := seen[s.Parent]; s.Parent != 0 && emitted {
+			t.Fatalf("span %d emitted after its parent %d — not post-order", s.Span, s.Parent)
+		}
+		seen[s.Span] = s.SpanKind
+		counts[s.SpanKind]++
+		switch s.SpanKind {
+		case obs.SpanStage:
+			if !stageNames[s.Name] || s.Workload == "" || s.Worker <= 0 {
+				t.Fatalf("malformed stage span: %+v", s)
+			}
+		case obs.SpanEval:
+			if s.Cache == "" && !evalAccounting[s.Span] {
+				t.Fatalf("computed eval span %d has no EvalSpan accounting event", s.Span)
+			}
+			if len(s.Point) == 0 {
+				t.Fatalf("eval span without a design point: %+v", s)
+			}
+		case obs.SpanIteration:
+			if !strings.HasPrefix(s.Name, "w") || !strings.Contains(s.Name, ".s") {
+				t.Fatalf("iteration span name %q", s.Name)
+			}
+		case obs.SpanBatch:
+			if s.Name != "evaluate" && s.Name != "probe" {
+				t.Fatalf("batch span name %q", s.Name)
+			}
+		}
+		if s.DurNS < 0 || s.StartNS < 0 {
+			t.Fatalf("negative span timing: %+v", s)
+		}
+	}
+	// Parent links resolve: every non-zero parent must eventually appear.
+	for _, e := range events {
+		if s, ok := e.(*obs.SpanEvent); ok && s.Parent != 0 {
+			if _, ok := seen[s.Parent]; !ok {
+				t.Fatalf("span %d references parent %d which never appears", s.Span, s.Parent)
+			}
+		}
+	}
+	for _, kind := range []string{obs.SpanIteration, obs.SpanBatch, obs.SpanEval, obs.SpanStage} {
+		if counts[kind] == 0 {
+			t.Fatalf("campaign journal has no %s spans (%v)", kind, counts)
+		}
+	}
+	// Every stage span belongs to some eval; evals outnumber none of them.
+	if counts[obs.SpanStage] < counts[obs.SpanEval] {
+		t.Fatalf("fewer stage spans (%d) than eval spans (%d)", counts[obs.SpanStage], counts[obs.SpanEval])
+	}
+	if len(ev.History) == 0 {
+		t.Fatal("campaign produced no history")
+	}
+}

@@ -1,0 +1,76 @@
+package dse
+
+import (
+	"sync"
+	"time"
+
+	"archexplorer/internal/obs"
+)
+
+// Span instrumentation support: the evaluator annotates every stage span
+// with the 1-based worker slot it occupied, assigned lowest-free-first, so
+// the selfdeg analysis can reconstruct worker-slot contention (two stages
+// on the same slot never overlap; a gap between them on the critical path
+// is time an eval spent waiting for a worker). Slots are an observation
+// device — they do not gate anything; the leaf-gate semaphore still does —
+// so the count of distinct slots observed equals the effective
+// parallelism the pool actually granted.
+
+// slotTracker hands out the lowest free slot number.
+type slotTracker struct {
+	mu   sync.Mutex
+	busy []bool
+}
+
+func (t *slotTracker) acquire() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, b := range t.busy {
+		if !b {
+			t.busy[i] = true
+			return i + 1
+		}
+	}
+	t.busy = append(t.busy, true)
+	return len(t.busy)
+}
+
+func (t *slotTracker) release(slot int) {
+	if slot <= 0 {
+		return
+	}
+	t.mu.Lock()
+	t.busy[slot-1] = false
+	t.mu.Unlock()
+}
+
+// stageSpans captures one workload's stage spans worker-side. The records
+// accumulate in out with Span/Parent unset; the commit phase assigns ids
+// and emits them, keeping the journal's event order deterministic. When
+// off (telemetry disabled, or neither journal nor live dashboard active)
+// every call is a no-op and nothing is measured.
+type stageSpans struct {
+	rec  *obs.Recorder
+	on   bool
+	wl   string
+	slot int
+	out  []obs.SpanEvent
+}
+
+// begin opens a stage span and returns the closure that finalizes it with
+// the stage's measured duration (the same value the StageTimes field
+// records, so spans and stage sums agree exactly).
+func (s *stageSpans) begin(name string) func(time.Duration) {
+	if !s.on {
+		return func(time.Duration) {}
+	}
+	start := s.rec.Clock()
+	done := s.rec.TrackSpan(obs.SpanStage, name, s.wl, s.slot)
+	return func(d time.Duration) {
+		done()
+		s.out = append(s.out, obs.SpanEvent{
+			SpanKind: obs.SpanStage, Name: name, Workload: s.wl,
+			Worker: s.slot, StartNS: start, DurNS: int64(d),
+		})
+	}
+}

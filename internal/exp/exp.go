@@ -49,6 +49,10 @@ type Options struct {
 	// multiple evaluators out concurrently, so a shared journal interleaves
 	// their (individually deterministic) event streams.
 	Obs *obs.Recorder
+	// SpanParent, when nonzero, is the campaign span id grid-cell spans
+	// parent to (see obs.Recorder.CampaignSpan), so the self-DEG analysis
+	// sees one tree per run rather than a forest of cells.
+	SpanParent int64
 	// Progress, when non-nil, receives a one-line note as each campaign
 	// grid cell completes (live visibility into multi-minute fan-outs).
 	Progress io.Writer
@@ -199,7 +203,11 @@ func cellCheckpoint(o Options, ev *dse.Evaluator, cell string, seed int64) error
 // cells finish, a progress line goes to o.Progress and a grid event to the
 // recorder (in completion order — progress is live telemetry, not part of
 // the deterministic accounting stream).
-func exploreGrid(o Options, variants, seeds int, run func(variant int, seed int64) (*dse.Evaluator, error)) ([][]*dse.Evaluator, error) {
+// Each cell also gets its own campaign-kind span ("cell-v<variant>-s<seed>"),
+// opened and emitted from the cell's goroutine — like GridProgress, cell
+// spans land in the journal in completion order, while the span tree inside
+// each cell stays deterministic.
+func exploreGrid(o Options, variants, seeds int, run func(variant int, seed int64, cellSpan int64) (*dse.Evaluator, error)) ([][]*dse.Evaluator, error) {
 	out := make([][]*dse.Evaluator, variants)
 	for v := range out {
 		out[v] = make([]*dse.Evaluator, seeds)
@@ -209,9 +217,24 @@ func exploreGrid(o Options, variants, seeds int, run func(variant int, seed int6
 	start := time.Now()
 	err := par.ForEach(n, n, func(i int) error {
 		v, s := i/seeds, i%seeds
-		ev, err := run(v, int64(s+1))
+		var cellSpan, cellStart int64
+		if o.Obs.JournalEnabled() {
+			cellSpan = o.Obs.NextSpan()
+			cellStart = o.Obs.Clock()
+		}
+		if o.Obs.SpansActive() {
+			defer o.Obs.TrackSpan(obs.SpanCampaign, fmt.Sprintf("cell-v%d-s%d", v, s+1), "", 0)()
+		}
+		ev, err := run(v, int64(s+1), cellSpan)
 		if err != nil {
 			return err
+		}
+		if cellSpan != 0 {
+			o.Obs.Emit(&obs.SpanEvent{
+				Span: cellSpan, Parent: o.SpanParent, SpanKind: obs.SpanCampaign,
+				Name:    fmt.Sprintf("cell-v%d-s%d", v, s+1),
+				StartNS: cellStart, DurNS: o.Obs.Clock() - cellStart,
+			})
 		}
 		out[v][s] = ev
 		k := done.Add(1)

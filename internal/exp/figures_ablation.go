@@ -64,8 +64,9 @@ func runAblation(o Options, w io.Writer) error {
 	fmt.Fprintf(w, "ArchExplorer ablations on SPEC06-like suite, budget %d sims, %d seed(s)\n\n",
 		o.Budget, o.Seeds)
 	fmt.Fprintf(w, "%-12s %12s %12s %14s\n", "variant", "HV@half", "HV@full", "full evals")
-	grid, err := exploreGrid(o, len(variants), o.Seeds, func(vi int, seed int64) (*dse.Evaluator, error) {
+	grid, err := exploreGrid(o, len(variants), o.Seeds, func(vi int, seed int64, cellSpan int64) (*dse.Evaluator, error) {
 		ev := newEvaluator(o, suite)
+		ev.SpanParent = cellSpan
 		if err := cellCheckpoint(o, ev, "ablation-"+variants[vi].name, seed); err != nil {
 			return nil, err
 		}

@@ -42,8 +42,9 @@ func runCalipersDSE(o Options, w io.Writer) error {
 		{"new DEG (this paper)", false},
 		{"previous DEG", true},
 	}
-	grid, err := exploreGrid(o, len(variants), o.Seeds, func(vi int, seed int64) (*dse.Evaluator, error) {
+	grid, err := exploreGrid(o, len(variants), o.Seeds, func(vi int, seed int64, cellSpan int64) (*dse.Evaluator, error) {
 		ev := newEvaluator(o, suite)
+		ev.SpanParent = cellSpan
 		ev.UseCalipers = variants[vi].useCalipers
 		if err := cellCheckpoint(o, ev, fmt.Sprintf("calipersdse-v%d", vi), seed); err != nil {
 			return nil, err

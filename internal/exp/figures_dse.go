@@ -82,8 +82,9 @@ func runCampaign(o Options, suiteName string, w io.Writer) (map[string][]float64
 		budgets[i] = (i + 1) * o.Budget / nb
 	}
 
-	grid, err := exploreGrid(o, len(methodNames), o.Seeds, func(m int, seed int64) (*dse.Evaluator, error) {
+	grid, err := exploreGrid(o, len(methodNames), o.Seeds, func(m int, seed int64, cellSpan int64) (*dse.Evaluator, error) {
 		ev := newEvaluator(o, suite)
+		ev.SpanParent = cellSpan
 		if err := cellCheckpoint(o, ev, suiteName+"-"+methodNames[m], seed); err != nil {
 			return nil, err
 		}
@@ -226,8 +227,9 @@ func runTable5(o Options, w io.Writer) error {
 			hv   []float64
 		}
 		traces := make(map[string]trace)
-		grid, err := exploreGrid(o, len(methodNames), o.Seeds, func(m int, seed int64) (*dse.Evaluator, error) {
+		grid, err := exploreGrid(o, len(methodNames), o.Seeds, func(m int, seed int64, cellSpan int64) (*dse.Evaluator, error) {
 			ev := newEvaluator(o, suite)
+			ev.SpanParent = cellSpan
 			if err := cellCheckpoint(o, ev, "table5-"+suiteName+"-"+methodNames[m], seed); err != nil {
 				return nil, err
 			}

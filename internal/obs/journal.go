@@ -9,6 +9,16 @@ import (
 	"sync"
 )
 
+// Journal versioning rule: the schema is append-only. A new need is met by
+// a new event kind or a new omitempty field on an existing kind — never by
+// renaming, re-typing, or re-purposing a field that has shipped, and a new
+// field must be omitted whenever the feature that sets it is off, so
+// default-configuration journals stay byte-identical across versions.
+// Readers hold up the other half of the contract: ReadJournal maps unknown
+// kinds to *Unknown (preserved byte-for-byte, so filters can re-emit them
+// losslessly) and json ignores unknown fields, which lets an old obsreport
+// binary read a newer journal and a new binary read an old one.
+//
 // Head is the envelope every journal event carries: its type tag and a
 // sequence number assigned in emission order. Emission order is the
 // journal's determinism contract — instrumented code only emits from
@@ -277,6 +287,8 @@ func ReadJournal(r io.Reader) ([]Event, error) {
 			e = &RunStart{}
 		case "eval":
 			e = &EvalSpan{}
+		case "span":
+			e = &SpanEvent{}
 		case "iter":
 			e = &IterEvent{}
 		case "grid":
@@ -314,9 +326,31 @@ func LoadJournal(path string) ([]Event, error) {
 }
 
 // Unknown is a forward-compatibility event: a journal line whose type this
-// build does not know.
+// build does not know. The original line is preserved byte-for-byte, so a
+// tool that reads a journal and writes it back (a filter, a splitter)
+// round-trips events from newer builds losslessly. Unknown is a read-side
+// type — emitting one through a Recorder would re-serialise Raw verbatim,
+// ignoring the journal's sequence numbering, so don't.
 type Unknown struct {
 	Head
+	Raw json.RawMessage `json:"-"`
+}
+
+// UnmarshalJSON captures the envelope and keeps the raw line.
+func (u *Unknown) UnmarshalJSON(b []byte) error {
+	if err := json.Unmarshal(b, &u.Head); err != nil {
+		return err
+	}
+	u.Raw = append(u.Raw[:0], b...)
+	return nil
+}
+
+// MarshalJSON re-emits the preserved line byte-identically.
+func (u *Unknown) MarshalJSON() ([]byte, error) {
+	if len(u.Raw) > 0 {
+		return append([]byte(nil), u.Raw...), nil
+	}
+	return json.Marshal(u.Head)
 }
 
 // Kind implements Event.

@@ -50,11 +50,20 @@ const (
 	// streaming sim->DEG pipeline (replaces the sim and deg histograms on
 	// streamed evaluations).
 	MetricStageDEGStream = "archx_stage_deg_stream_seconds"
-	MetricSimInsts      = "archx_sim_insts_total"    // instructions committed by the cycle-level simulator
-	MetricSimInstRate   = "archx_sim_insts_per_sec"  // throughput of the most recent simulation (gauge)
-	MetricDEGWindows    = "archx_deg_windows"              // windows of the last windowed analysis (gauge)
-	MetricDEGPeakEdges  = "archx_deg_peak_edges"           // largest single-window edge count (gauge)
-	MetricDEGDrops      = "archx_deg_dropped_edges_total"  // defensively dropped DEG edges (corruption indicator)
+	MetricSimInsts       = "archx_sim_insts_total"         // instructions committed by the cycle-level simulator
+	MetricSimInstRate    = "archx_sim_insts_per_sec"       // throughput of the most recent simulation (gauge)
+	MetricDEGWindows     = "archx_deg_windows"             // windows of the last windowed analysis (gauge)
+	MetricDEGPeakEdges   = "archx_deg_peak_edges"          // largest single-window edge count (gauge)
+	MetricDEGDrops       = "archx_deg_dropped_edges_total" // defensively dropped DEG edges (corruption indicator)
+	// Runtime self-profile gauges, sampled by the recorder's runtime
+	// sampler (started by the live dashboard, or explicitly via
+	// Recorder.StartRuntimeSampler) so a stalled campaign can be triaged
+	// from /metrics or /dash without attaching pprof.
+	MetricRuntimeHeap       = "archx_runtime_heap_alloc_bytes" // live heap at the last sample (gauge)
+	MetricRuntimeSys        = "archx_runtime_sys_bytes"        // total memory obtained from the OS (gauge)
+	MetricRuntimeGoroutines = "archx_runtime_goroutines"       // goroutine count at the last sample (gauge)
+	MetricRuntimeGCPause    = "archx_runtime_gc_pause_last_ns" // most recent GC stop-the-world pause (gauge)
+	MetricRuntimeGCTotal    = "archx_runtime_gc_cycles_total"  // completed GC cycles (gauge; cumulative)
 )
 
 // Counter is a monotonically increasing int64, safe for concurrent use.
@@ -206,6 +215,46 @@ func (h *Histogram) Snapshot() (cumulative []uint64, sum float64, count uint64) 
 	return cumulative, h.sum, h.count
 }
 
+// Quantile estimates the p-quantile (0 ≤ p ≤ 1) from the bucket counts,
+// interpolating linearly inside the bucket the rank lands in. Samples in
+// the implicit +Inf bucket are reported as the largest finite bound — the
+// usual Prometheus convention — so the estimate is a floor, not an
+// overshoot. Returns 0 for a nil or empty histogram.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || len(h.buckets) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	} else if p > 1 {
+		p = 1
+	}
+	rank := p * float64(h.count)
+	var cum float64
+	for i, c := range h.counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i >= len(h.buckets) { // +Inf bucket: clamp to the largest finite bound
+			return h.buckets[len(h.buckets)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.buckets[i-1]
+		}
+		hi := h.buckets[i]
+		return lo + (hi-lo)*(rank-prev)/float64(c)
+	}
+	return h.buckets[len(h.buckets)-1]
+}
+
 // Bounds returns the histogram's upper bounds (shared, do not mutate).
 func (h *Histogram) Bounds() []float64 {
 	if h == nil {
@@ -277,6 +326,18 @@ func (r *Registry) Histogram(name string) *Histogram {
 		r.histograms[name] = h
 	}
 	return h
+}
+
+// HistogramNames returns the names of every histogram registered so far,
+// sorted — the enumeration the live dashboard walks (Histogram(name) only
+// ever hands out one metric at a time, and would create on a miss).
+func (r *Registry) HistogramNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return sortedKeys(r.histograms)
 }
 
 // Snapshot returns every counter and gauge value by name — the flat form

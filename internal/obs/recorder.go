@@ -19,7 +19,8 @@ import (
 // disabled recorder costs one pointer comparison per call site and changes
 // nothing observable.
 type Recorder struct {
-	reg *Registry
+	reg   *Registry
+	start time.Time // Clock()'s epoch (monotonic)
 
 	mu       sync.Mutex
 	j        *journal
@@ -29,11 +30,15 @@ type Recorder struct {
 	progWG   sync.WaitGroup
 
 	spans atomic.Int64
+
+	spanLive    // in-flight span tracking for the dashboard
+	stopSampler chan struct{}
+	samplerWG   sync.WaitGroup
 }
 
 // New returns a recorder with a fresh registry and no sinks attached.
 func New() *Recorder {
-	return &Recorder{reg: NewRegistry()}
+	return &Recorder{reg: NewRegistry(), start: time.Now()}
 }
 
 // Registry returns the recorder's metric registry (nil for a nil recorder;
@@ -133,9 +138,12 @@ func (r *Recorder) Serve(addr string) (string, error) {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		r.sampleRuntime() // scrape-time sampling, like a prometheus collector
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		r.reg.WritePrometheus(w)
 	})
+	mux.HandleFunc("/dash", r.dashPage)
+	mux.HandleFunc("/dash/data", r.dashData)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -199,13 +207,18 @@ func (r *Recorder) Close() error {
 	}
 	r.mu.Lock()
 	stop, srv, j := r.stopProg, r.srv, r.j
-	r.stopProg, r.srv, r.j = nil, nil, nil
+	sampler := r.stopSampler
+	r.stopProg, r.srv, r.j, r.stopSampler = nil, nil, nil, nil
 	r.mu.Unlock()
 
 	if stop != nil {
 		close(stop)
 	}
+	if sampler != nil {
+		close(sampler)
+	}
 	r.progWG.Wait()
+	r.samplerWG.Wait()
 	var err error
 	if srv != nil {
 		err = srv.Close()

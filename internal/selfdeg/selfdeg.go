@@ -1,0 +1,635 @@
+// Package selfdeg applies the paper's own method to the tool that
+// implements it: it reconstructs a dependency graph of a DSE campaign's
+// execution from the hierarchical span events in its run journal and runs
+// longest-path attribution over it — the same critical-path question the
+// DEG asks of a microarchitecture, asked of the explorer. The graph
+// encodes what actually serialized the run: evals depend on the batch that
+// dispatched them (eval-depends-on-draw), batches end at a commit barrier
+// their slowest eval gates, stages of one workload chain in pipeline
+// order, stages sharing a worker slot contend for it, and cache hits
+// short-circuit whole subtrees. Stage *sums* (obsreport's breakdown) say
+// where worker time went; the critical path says where wall-clock went —
+// the distinction the paper's Figure 1 draws for pipelines, reproduced for
+// the campaign itself.
+//
+// Determinism: the graph is built from journal values only, with all ties
+// broken on (time, span id), so re-analyzing the same journal reproduces
+// the same critical path and the same report, byte for byte.
+package selfdeg
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"archexplorer/internal/obs"
+)
+
+// Edge-class labels as they appear in the report. Work classes (span
+// bodies) name what ran; wait classes name what was waited on.
+const (
+	ClassSlotWait = "slot wait"
+	ClassDispatch = "dispatch"
+	ClassBarrier  = "commit barrier"
+)
+
+// ClassShare is one edge class's share of the critical path.
+type ClassShare struct {
+	Class string
+	Dur   time.Duration
+	Count int
+	Frac  float64
+}
+
+// Report is the campaign's critical-path attribution.
+type Report struct {
+	// Campaign labels the root span ("journal" when the journal holds no
+	// single root campaign span and one was synthesized).
+	Campaign string
+	// Total is the campaign wall-clock (root span duration); Covered is
+	// the summed duration of critical-path edges. The path runs from
+	// campaign begin to campaign end with every edge measuring elapsed
+	// time, so Covered telescopes to Total — coverage below 100% means
+	// clock-skewed spans forced edges to be dropped.
+	Total   time.Duration
+	Covered time.Duration
+	// Spans is the number of span events analyzed; Workers the distinct
+	// worker slots observed; CacheHits the batch slots short-circuited by
+	// the evaluation cache (subtrees that never existed).
+	Spans     int
+	Workers   int
+	CacheHits int
+	// SlotWait is the time the critical path spent waiting for a worker
+	// slot — the directly actionable number: it bounds what adding
+	// parallelism can recover.
+	SlotWait time.Duration
+	// Classes is the per-class attribution, largest first (ties on name).
+	Classes []ClassShare
+	// Skew counts edges dropped for a negative time delta (clock skew or
+	// a malformed journal); nonzero Skew is a data-quality warning.
+	Skew int
+	// Synthesized marks a root synthesized from the span extent because
+	// the journal held zero or several top-level campaign spans.
+	Synthesized bool
+}
+
+// Share returns the named class's share (zero value when absent).
+func (r *Report) Share(class string) ClassShare {
+	for _, c := range r.Classes {
+		if c.Class == class {
+			return c
+		}
+	}
+	return ClassShare{Class: class}
+}
+
+// node is one span in the reconstructed tree.
+type node struct {
+	ev       *obs.SpanEvent
+	parent   int32 // -1 for the root
+	children []int32
+	top      int32 // ancestor directly under the root (slot-group key)
+}
+
+// edge is one dependency in the campaign graph. Duration is implied by
+// the endpoint times; work is the DP objective (nonzero only on leaf
+// span bodies), which steers the longest path through real work when
+// several paths span the same wall-clock.
+type edge struct {
+	to   int32
+	cls  int32
+	work int64
+}
+
+// Analyze reconstructs the campaign graph from a journal's span events and
+// returns the critical-path attribution. Journals without span events
+// (pre-span builds, or telemetry off) return an error.
+func Analyze(events []obs.Event) (*Report, error) {
+	var spans []*obs.SpanEvent
+	for _, e := range events {
+		if s, ok := e.(*obs.SpanEvent); ok {
+			spans = append(spans, s)
+		}
+	}
+	if len(spans) == 0 {
+		return nil, fmt.Errorf("selfdeg: no span events in journal (recorded by an older build, or telemetry off?)")
+	}
+
+	idx := make(map[int64]int32, len(spans))
+	for i, s := range spans {
+		idx[s.Span] = int32(i)
+	}
+
+	// Root selection: the unique top-level campaign span when there is
+	// one; otherwise synthesize a root covering the span extent (several
+	// concurrent campaigns, or a journal recorded without CampaignSpan).
+	rep := &Report{Spans: len(spans)}
+	var rootCands []int32
+	for i, s := range spans {
+		if s.SpanKind != obs.SpanCampaign {
+			continue
+		}
+		if p, ok := idx[s.Parent]; s.Parent == 0 || !ok || p == int32(i) {
+			rootCands = append(rootCands, int32(i))
+		}
+	}
+	var root int32
+	if len(rootCands) == 1 {
+		root = rootCands[0]
+		rep.Campaign = spans[root].Name
+	} else {
+		lo, hi := spans[0].StartNS, spans[0].End()
+		for _, s := range spans[1:] {
+			if s.StartNS < lo {
+				lo = s.StartNS
+			}
+			if s.End() > hi {
+				hi = s.End()
+			}
+		}
+		spans = append(spans, &obs.SpanEvent{
+			SpanKind: obs.SpanCampaign, Name: "journal", StartNS: lo, DurNS: hi - lo,
+		})
+		root = int32(len(spans) - 1)
+		rep.Campaign = "journal"
+		rep.Synthesized = true
+	}
+
+	nodes := make([]node, len(spans))
+	for i := range spans {
+		nodes[i] = node{ev: spans[i], parent: root, top: -1}
+		if int32(i) == root {
+			nodes[i].parent = -1
+			continue
+		}
+		if p, ok := idx[spans[i].Parent]; ok && p != int32(i) && p != root {
+			nodes[i].parent = p
+		}
+	}
+	for i := range nodes {
+		if nodes[i].parent >= 0 {
+			nodes[nodes[i].parent].children = append(nodes[nodes[i].parent].children, int32(i))
+		}
+		if w := spans[i].Worker; w > rep.Workers {
+			rep.Workers = w
+		}
+		if spans[i].SpanKind == obs.SpanBatch {
+			rep.CacheHits += spans[i].Hits
+		}
+	}
+	// Deterministic child order: (start, span id). Journal order already
+	// provides this for well-formed journals; sorting makes it a contract.
+	for i := range nodes {
+		c := nodes[i].children
+		sort.Slice(c, func(a, b int) bool {
+			sa, sb := spans[c[a]], spans[c[b]]
+			if sa.StartNS != sb.StartNS {
+				return sa.StartNS < sb.StartNS
+			}
+			return sa.Span < sb.Span
+		})
+	}
+	for i := range nodes {
+		topOf(nodes, root, int32(i))
+	}
+
+	g := newGraph(spans, rep)
+	g.build(nodes, root)
+	g.longestPath(root)
+	g.attribute(rep, root)
+	return rep, nil
+}
+
+// topOf memoizes each node's ancestor directly under the root — the key
+// slot numbers are grouped by, since worker slots are assigned per
+// evaluator and two grid cells reuse the same numbers for different pools.
+func topOf(nodes []node, root, i int32) int32 {
+	if nodes[i].top >= 0 {
+		return nodes[i].top
+	}
+	cur, steps := i, 0
+	for nodes[cur].parent >= 0 && nodes[cur].parent != root {
+		cur = nodes[cur].parent
+		if steps++; steps > len(nodes) { // malformed parent cycle
+			break
+		}
+	}
+	nodes[i].top = cur
+	return cur
+}
+
+// graph is the vertex/edge store: vertices 2i (span begin) and 2i+1 (span
+// end), adjacency in insertion order (deterministic), class labels
+// interned to indices.
+type graph struct {
+	spans   []*obs.SpanEvent
+	out     [][]edge
+	indeg   []int32
+	classes []string
+	clsIdx  map[string]int32
+	rep     *Report
+	path    dp
+}
+
+func newGraph(spans []*obs.SpanEvent, rep *Report) *graph {
+	return &graph{
+		spans:  spans,
+		out:    make([][]edge, 2*len(spans)),
+		indeg:  make([]int32, 2*len(spans)),
+		clsIdx: make(map[string]int32),
+		rep:    rep,
+	}
+}
+
+func (g *graph) vtime(v int32) int64 {
+	s := g.spans[v>>1]
+	if v&1 == 0 {
+		return s.StartNS
+	}
+	return s.End()
+}
+
+func begin(i int32) int32 { return 2 * i }
+func end(i int32) int32   { return 2*i + 1 }
+
+func (g *graph) class(label string) int32 {
+	if c, ok := g.clsIdx[label]; ok {
+		return c
+	}
+	c := int32(len(g.classes))
+	g.classes = append(g.classes, label)
+	g.clsIdx[label] = c
+	return c
+}
+
+// addEdge inserts from→to unless it would run backward in time (clock
+// skew), which is counted instead. work marks span-body edges of leaves,
+// the DP objective.
+func (g *graph) addEdge(from, to int32, label string, work bool) {
+	d := g.vtime(to) - g.vtime(from)
+	if d < 0 {
+		g.rep.Skew++
+		return
+	}
+	var w int64
+	if work {
+		w = d
+	}
+	g.out[from] = append(g.out[from], edge{to: to, cls: g.class(label), work: w})
+	g.indeg[to]++
+}
+
+// build lays down the campaign dependency graph:
+//
+//   - dispatch: parent begin → child begin (an eval cannot start before
+//     the batch that drew it; a batch not before its iteration; …)
+//   - commit barrier / join: child end → parent end (a batch commits only
+//     after its slowest eval — the fan-in that serializes parallel evals)
+//   - body: begin → end of every span; leaf bodies carry work (a stage
+//     simulating, a replayed or failed eval, a cache-hit batch), container
+//     bodies are the zero-work fallback that keeps end reachable even
+//     where children leave gaps
+//   - seq: end → next begin between non-overlapping same-kind siblings
+//     (same workload for stages, so an eval's trace→sim→power→deg
+//     pipeline chains); between iterations this is the explorer deciding
+//   - slot wait: end → next begin between non-overlapping stages on the
+//     same worker slot of the same campaign/cell — the contention edge:
+//     when it lands on the critical path, the run was worker-starved
+func (g *graph) build(nodes []node, root int32) {
+	for i := range nodes {
+		n := &nodes[i]
+		s := n.ev
+		if n.parent >= 0 {
+			g.addEdge(begin(n.parent), begin(int32(i)), ClassDispatch, false)
+			join := ClassBarrier
+			if k := g.spans[n.parent].SpanKind; k != obs.SpanBatch {
+				join = "join (" + k + ")"
+			}
+			g.addEdge(end(int32(i)), end(n.parent), join, false)
+		}
+		if len(n.children) == 0 {
+			g.addEdge(begin(int32(i)), end(int32(i)), leafLabel(s), true)
+		} else {
+			g.addEdge(begin(int32(i)), end(int32(i)), "idle ("+s.SpanKind+")", false)
+		}
+
+		// Sequential-sibling edges, grouped by (kind, workload).
+		type groupKey struct {
+			kind, wl string
+		}
+		groups := make(map[groupKey][]int32)
+		var order []groupKey
+		for _, c := range n.children {
+			k := groupKey{g.spans[c].SpanKind, g.spans[c].Workload}
+			if _, ok := groups[k]; !ok {
+				order = append(order, k)
+			}
+			groups[k] = append(groups[k], c)
+		}
+		for _, k := range order {
+			sibs := groups[k]
+			for j := 1; j < len(sibs); j++ {
+				a, b := sibs[j-1], sibs[j]
+				if g.spans[b].StartNS >= g.spans[a].End() {
+					g.addEdge(end(a), begin(b), seqLabel(k.kind), false)
+				}
+			}
+		}
+
+		// Driver-progression edges across ALL children regardless of kind:
+		// under a campaign, batches and iterations interleave on the driving
+		// goroutine, and without cross-kind edges the critical path could not
+		// weave from a screen batch into the iterations that follow it —
+		// their time would be misattributed to a same-kind sibling gap.
+		for j := 1; j < len(n.children); j++ {
+			a, b := n.children[j-1], n.children[j]
+			if g.spans[b].StartNS < g.spans[a].End() {
+				continue
+			}
+			label := seqLabel(g.spans[b].SpanKind)
+			if g.spans[a].SpanKind != g.spans[b].SpanKind {
+				label = "explorer decide"
+			}
+			g.addEdge(end(a), begin(b), label, false)
+		}
+	}
+
+	// Worker-slot contention edges: stage spans on one slot of one
+	// campaign/cell never overlap; a gap between consecutive occupants is
+	// the next eval waiting for the slot.
+	type slotKey struct {
+		top    int32
+		worker int
+	}
+	slots := make(map[slotKey][]int32)
+	var order []slotKey
+	for i := range nodes {
+		s := nodes[i].ev
+		if s.SpanKind != obs.SpanStage || s.Worker <= 0 || int32(i) == root {
+			continue
+		}
+		k := slotKey{nodes[i].top, s.Worker}
+		if _, ok := slots[k]; !ok {
+			order = append(order, k)
+		}
+		slots[k] = append(slots[k], int32(i))
+	}
+	for _, k := range order {
+		occ := slots[k]
+		sort.Slice(occ, func(a, b int) bool {
+			sa, sb := g.spans[occ[a]], g.spans[occ[b]]
+			if sa.StartNS != sb.StartNS {
+				return sa.StartNS < sb.StartNS
+			}
+			return sa.Span < sb.Span
+		})
+		for j := 1; j < len(occ); j++ {
+			a, b := occ[j-1], occ[j]
+			if g.spans[b].StartNS >= g.spans[a].End() {
+				g.addEdge(end(a), begin(b), ClassSlotWait, false)
+			}
+		}
+	}
+}
+
+// leafLabel names the work a leaf span's body performed.
+func leafLabel(s *obs.SpanEvent) string {
+	switch s.SpanKind {
+	case obs.SpanStage:
+		return s.Name + " stage"
+	case obs.SpanEval:
+		switch s.Cache {
+		case "replay":
+			return "eval (replay)"
+		case "failed":
+			return "eval (failed)"
+		}
+		return "eval (body)"
+	case obs.SpanBatch:
+		if s.Hits > 0 {
+			return "batch (cache-hit)"
+		}
+		return "idle (batch)"
+	case obs.SpanIteration:
+		return "explorer decide"
+	}
+	return "idle (" + s.SpanKind + ")"
+}
+
+// seqLabel names the gap between consecutive same-kind siblings.
+func seqLabel(kind string) string {
+	switch kind {
+	case obs.SpanIteration:
+		return "explorer decide"
+	case obs.SpanBatch:
+		return "between batches"
+	case obs.SpanEval:
+		return "between evals"
+	case obs.SpanStage:
+		return "stage pipeline"
+	}
+	return "between " + kind + "s"
+}
+
+// dp is the longest-path state, reconstructed from parent pointers.
+type dp struct {
+	dist []int64 // max accumulated work from the root begin; -1 unreachable
+	parV []int32 // predecessor vertex on the best path
+	parC []int32 // class of the edge taken
+}
+
+// longestPath runs the work-maximizing DP over a topological order
+// (Kahn's algorithm with a (time, vertex) min-heap, so ties — including
+// zero-duration edges between same-time vertices — process in a fixed
+// order and the chosen path is deterministic).
+func (g *graph) longestPath(root int32) {
+	n := len(g.out)
+	g.path.dist = make([]int64, n)
+	g.path.parV = make([]int32, n)
+	g.path.parC = make([]int32, n)
+	for i := 0; i < n; i++ {
+		g.path.dist[i] = -1
+		g.path.parV[i] = -1
+		g.path.parC[i] = -1
+	}
+	g.path.dist[begin(root)] = 0
+
+	indeg := append([]int32(nil), g.indeg...)
+	h := &vheap{g: g}
+	for v := int32(0); v < int32(n); v++ {
+		if indeg[v] == 0 {
+			h.push(v)
+		}
+	}
+	for h.len() > 0 {
+		v := h.pop()
+		dv := g.path.dist[v]
+		for _, e := range g.out[v] {
+			if dv >= 0 {
+				if nd := dv + e.work; nd > g.path.dist[e.to] {
+					g.path.dist[e.to] = nd
+					g.path.parV[e.to] = v
+					g.path.parC[e.to] = e.cls
+				}
+			}
+			if indeg[e.to]--; indeg[e.to] == 0 {
+				h.push(e.to)
+			}
+		}
+	}
+}
+
+// attribute walks the chosen path backward from the campaign end and
+// aggregates edge durations by class.
+func (g *graph) attribute(rep *Report, root int32) {
+	rep.Total = time.Duration(g.spans[root].DurNS)
+	type agg struct {
+		dur   int64
+		count int
+	}
+	byClass := make(map[int32]*agg)
+	cur := end(root)
+	for cur != begin(root) {
+		pv := g.path.parV[cur]
+		if pv < 0 {
+			break // end unreachable: skew broke the spine (reported via coverage)
+		}
+		cls := g.path.parC[cur]
+		a := byClass[cls]
+		if a == nil {
+			a = &agg{}
+			byClass[cls] = a
+		}
+		d := g.vtime(cur) - g.vtime(pv)
+		a.dur += d
+		a.count++
+		rep.Covered += time.Duration(d)
+		cur = pv
+	}
+	for cls, a := range byClass {
+		rep.Classes = append(rep.Classes, ClassShare{
+			Class: g.classes[cls],
+			Dur:   time.Duration(a.dur),
+			Count: a.count,
+		})
+	}
+	if rep.Total > 0 {
+		for i := range rep.Classes {
+			rep.Classes[i].Frac = float64(rep.Classes[i].Dur) / float64(rep.Total)
+		}
+	}
+	sort.Slice(rep.Classes, func(a, b int) bool {
+		if rep.Classes[a].Dur != rep.Classes[b].Dur {
+			return rep.Classes[a].Dur > rep.Classes[b].Dur
+		}
+		return rep.Classes[a].Class < rep.Classes[b].Class
+	})
+	rep.SlotWait = rep.Share(ClassSlotWait).Dur
+}
+
+// vheap is a minimal binary min-heap of vertices keyed by (time, vertex).
+type vheap struct {
+	g *graph
+	v []int32
+}
+
+func (h *vheap) len() int { return len(h.v) }
+
+func (h *vheap) less(a, b int32) bool {
+	ta, tb := h.g.vtime(a), h.g.vtime(b)
+	if ta != tb {
+		return ta < tb
+	}
+	return a < b
+}
+
+func (h *vheap) push(x int32) {
+	h.v = append(h.v, x)
+	i := len(h.v) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(h.v[i], h.v[p]) {
+			break
+		}
+		h.v[i], h.v[p] = h.v[p], h.v[i]
+		i = p
+	}
+}
+
+func (h *vheap) pop() int32 {
+	top := h.v[0]
+	last := len(h.v) - 1
+	h.v[0] = h.v[last]
+	h.v = h.v[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < len(h.v) && h.less(h.v[l], h.v[s]) {
+			s = l
+		}
+		if r < len(h.v) && h.less(h.v[r], h.v[s]) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h.v[i], h.v[s] = h.v[s], h.v[i]
+		i = s
+	}
+	return top
+}
+
+// WhatIf estimates the wall-clock one more worker slot would have saved:
+// slot waits on the critical path shrink roughly in proportion to
+// W/(W+1) — an optimistic bound (it assumes waits were spread evenly and
+// nothing else becomes critical), which is exactly how the paper uses its
+// what-if numbers: to rank the next fix, not to promise a speedup.
+func (r *Report) WhatIf() time.Duration {
+	if r.Workers <= 0 || r.SlotWait <= 0 {
+		return 0
+	}
+	return r.SlotWait * time.Duration(r.Workers) / time.Duration(r.Workers+1)
+}
+
+// Format renders the report for obsreport -critical-path. Output is
+// deterministic for a given journal.
+func (r *Report) Format(w io.Writer) {
+	fmt.Fprintf(w, "self-DEG critical path: campaign %q\n", r.Campaign)
+	if r.Synthesized {
+		fmt.Fprintf(w, "  (no single root campaign span; root synthesized over the span extent)\n")
+	}
+	cov := 0.0
+	if r.Total > 0 {
+		cov = 100 * float64(r.Covered) / float64(r.Total)
+	}
+	fmt.Fprintf(w, "  wall-clock %s, critical path covers %s (%.1f%%)\n", fdur(r.Total), fdur(r.Covered), cov)
+	fmt.Fprintf(w, "  %d spans, %d worker slots, %d cache-hit short-circuits", r.Spans, r.Workers, r.CacheHits)
+	if r.Skew > 0 {
+		fmt.Fprintf(w, ", %d skew-dropped edges", r.Skew)
+	}
+	fmt.Fprintf(w, "\n\ncritical-path attribution:\n")
+	for _, c := range r.Classes {
+		fmt.Fprintf(w, "  %-22s %10s  %5.1f%%  (%d edges)\n", c.Class, fdur(c.Dur), 100*c.Frac, c.Count)
+	}
+	if save := r.WhatIf(); save > 0 {
+		fmt.Fprintf(w, "\nwhat-if: +1 worker slot saves up to ~%s (%s of slot wait on the path, %d slots today)\n",
+			fdur(save), fdur(r.SlotWait), r.Workers)
+	} else if r.SlotWait == 0 {
+		fmt.Fprintf(w, "\nwhat-if: no slot wait on the critical path — more workers would not help; attack the top class above\n")
+	}
+}
+
+// fdur formats durations with fixed precision so reports diff cleanly.
+func fdur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/1e6)
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/1e3)
+	}
+	return fmt.Sprintf("%dns", d)
+}

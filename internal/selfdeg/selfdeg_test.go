@@ -1,0 +1,183 @@
+package selfdeg
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"archexplorer/internal/obs"
+)
+
+// span is shorthand for building synthetic journals.
+func span(id, parent int64, kind, name string, worker int, start, dur int64) *obs.SpanEvent {
+	return &obs.SpanEvent{
+		Span: id, Parent: parent, SpanKind: kind, Name: name,
+		Worker: worker, StartNS: start, DurNS: dur,
+	}
+}
+
+// TestAnalyzeSimpleTree hand-builds the smallest interesting campaign —
+// two evals sharing one worker slot with a gap between them — and checks
+// the attribution numerically: the path covers the whole wall-clock, the
+// slot gap shows up as slot wait, and the what-if halves it.
+func TestAnalyzeSimpleTree(t *testing.T) {
+	events := []obs.Event{
+		// Post-order, as the evaluator emits: stages, eval, stages, eval,
+		// batch, campaign.
+		span(3, 2, obs.SpanStage, "sim", 1, 0, 40),
+		span(2, 5, obs.SpanEval, "cfgA", 0, 0, 40),
+		span(6, 4, obs.SpanStage, "sim", 1, 50, 50),
+		span(4, 5, obs.SpanEval, "cfgB", 0, 50, 50),
+		span(5, 1, obs.SpanBatch, "evaluate", 0, 0, 100),
+		span(1, 0, obs.SpanCampaign, "test", 0, 0, 100),
+	}
+	// Stage spans carry the workload so the seq grouping sees them.
+	for _, e := range events {
+		if s := e.(*obs.SpanEvent); s.SpanKind == obs.SpanStage {
+			s.Workload = "mcf"
+		}
+	}
+	rep, err := Analyze(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Campaign != "test" || rep.Synthesized {
+		t.Fatalf("root selection: %+v", rep)
+	}
+	if rep.Total != 100 {
+		t.Fatalf("total %v, want 100ns", rep.Total)
+	}
+	if rep.Covered != rep.Total {
+		t.Fatalf("covered %v of %v — the path must telescope to the wall-clock", rep.Covered, rep.Total)
+	}
+	if rep.Workers != 1 {
+		t.Fatalf("workers = %d", rep.Workers)
+	}
+	if got := rep.Share("sim stage").Dur; got != 90 {
+		t.Fatalf("sim stage on path = %v, want 90ns", got)
+	}
+	if rep.SlotWait != 10 {
+		t.Fatalf("slot wait = %v, want 10ns", rep.SlotWait)
+	}
+	if rep.Classes[0].Class != "sim stage" {
+		t.Fatalf("top class %q", rep.Classes[0].Class)
+	}
+	if f := rep.Classes[0].Frac; f < 0.89 || f > 0.91 {
+		t.Fatalf("top class fraction %v", f)
+	}
+	if rep.WhatIf() != 5 {
+		t.Fatalf("what-if = %v, want 5ns (10ns · 1/2)", rep.WhatIf())
+	}
+	if rep.Skew != 0 {
+		t.Fatalf("skew = %d on a clean journal", rep.Skew)
+	}
+}
+
+// TestAnalyzeNoSpans: journals without span events are an explicit error,
+// not an empty report.
+func TestAnalyzeNoSpans(t *testing.T) {
+	if _, err := Analyze([]obs.Event{&obs.RunStart{Tool: "x"}}); err == nil {
+		t.Fatal("no-span journal did not error")
+	}
+}
+
+// TestSynthesizedRoot: several top-level campaign spans (a grid of cells
+// journaled without a run-wide root) get a synthesized "journal" root
+// covering the whole extent, and orphan spans re-parent to it.
+func TestSynthesizedRoot(t *testing.T) {
+	events := []obs.Event{
+		span(1, 0, obs.SpanCampaign, "cell-v0-s1", 0, 0, 60),
+		span(2, 0, obs.SpanCampaign, "cell-v1-s1", 0, 10, 90),
+		span(3, 99, obs.SpanEval, "orphan", 0, 20, 10), // parent never journaled
+	}
+	rep, err := Analyze(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Synthesized || rep.Campaign != "journal" {
+		t.Fatalf("expected synthesized root, got %+v", rep)
+	}
+	if rep.Total != 100 { // extent [0, 100)
+		t.Fatalf("synthesized total %v, want 100ns", rep.Total)
+	}
+	if rep.Covered != rep.Total {
+		t.Fatalf("covered %v of %v", rep.Covered, rep.Total)
+	}
+}
+
+// TestSkewDroppedEdges: a child whose end runs past its parent's would
+// need a backward join edge; it must be dropped and counted, never built.
+func TestSkewDroppedEdges(t *testing.T) {
+	events := []obs.Event{
+		span(2, 1, obs.SpanEval, "cfg", 0, 10, 200), // ends at 210, after the campaign
+		span(1, 0, obs.SpanCampaign, "test", 0, 0, 100),
+	}
+	rep, err := Analyze(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Skew == 0 {
+		t.Fatal("backward edge not counted as skew")
+	}
+}
+
+// TestCacheHitBatch: a childless batch with cache hits is real work (the
+// cache short-circuited the subtree), labeled as such on the path.
+func TestCacheHitBatch(t *testing.T) {
+	events := []obs.Event{
+		&obs.SpanEvent{Span: 2, Parent: 1, SpanKind: obs.SpanBatch, Name: "evaluate", Hits: 3, StartNS: 0, DurNS: 80},
+		span(1, 0, obs.SpanCampaign, "test", 0, 0, 100),
+	}
+	rep, err := Analyze(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CacheHits != 3 {
+		t.Fatalf("cache hits = %d", rep.CacheHits)
+	}
+	if got := rep.Share("batch (cache-hit)").Dur; got != 80 {
+		t.Fatalf("cache-hit batch on path = %v, want 80ns", got)
+	}
+}
+
+// TestFormatDeterministic: analyzing the same journal twice renders byte-
+// identical reports — the reproducibility contract obsreport relies on.
+func TestFormatDeterministic(t *testing.T) {
+	events := []obs.Event{
+		span(3, 2, obs.SpanStage, "sim", 1, 0, 30),
+		span(4, 2, obs.SpanStage, "deg", 1, 30, 10),
+		span(2, 5, obs.SpanEval, "cfgA", 0, 0, 40),
+		span(5, 1, obs.SpanBatch, "evaluate", 0, 0, 50),
+		span(6, 1, obs.SpanIteration, "w1.s1", 0, 50, 40),
+		span(1, 0, obs.SpanCampaign, "test", 0, 0, 100),
+	}
+	var a, b bytes.Buffer
+	ra, err := Analyze(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra.Format(&a)
+	rb, err := Analyze(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb.Format(&b)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("reports differ across reruns:\n--- a ---\n%s\n--- b ---\n%s", a.String(), b.String())
+	}
+	if !bytes.Contains(a.Bytes(), []byte("critical-path attribution")) {
+		t.Fatalf("report missing attribution section:\n%s", a.String())
+	}
+}
+
+// TestWhatIfZero: without slot waits the what-if must not promise savings.
+func TestWhatIfZero(t *testing.T) {
+	r := &Report{Workers: 4, SlotWait: 0}
+	if r.WhatIf() != 0 {
+		t.Fatalf("what-if without slot wait = %v", r.WhatIf())
+	}
+	r = &Report{Workers: 3, SlotWait: 40 * time.Millisecond}
+	if r.WhatIf() != 30*time.Millisecond {
+		t.Fatalf("what-if = %v, want 30ms (40ms · 3/4)", r.WhatIf())
+	}
+}
