@@ -24,6 +24,15 @@
 //
 // bench: refs gate relative overheads (instrumented vs uninstrumented)
 // without a committed number, so host speed cancels out of the comparison.
+//
+// Either ref form takes an optional leading multiplier:
+//
+//	benchgate -tolerance 0 \
+//	    -expect 'BenchmarkSimBatch=1.5*bench:BenchmarkSimBatchSeq'
+//
+// scales the baseline before the tolerance applies — here requiring the
+// batched pass to reach at least 1.5× the same run's sequential
+// throughput, a speedup floor rather than a regression floor.
 package main
 
 import (
@@ -31,6 +40,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -87,7 +97,7 @@ func main() {
 // parseBench extracts the named metric from `go test -bench` output lines:
 // a value token immediately followed by the metric's unit token. The
 // benchmark name is the first field with any -<GOMAXPROCS> suffix removed.
-func parseBench(r *os.File, metric string) (map[string]float64, error) {
+func parseBench(r io.Reader, metric string) (map[string]float64, error) {
 	out := map[string]float64{}
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
@@ -119,16 +129,30 @@ func parseBench(r *os.File, metric string) (map[string]float64, error) {
 
 // resolveBaseline resolves a baseline ref: "bench:Name" reads another
 // benchmark's value from the same run's measurements; anything else is a
-// "file.json:dotted.path" into a committed baseline file.
+// "file.json:dotted.path" into a committed baseline file. A leading
+// "<factor>*" scales the resolved value, turning the gate into a speedup
+// floor (e.g. "1.5*bench:BenchmarkSimBatchSeq").
 func resolveBaseline(ref string, measured map[string]float64) (float64, error) {
+	scale := 1.0
+	if head, rest, ok := strings.Cut(ref, "*"); ok {
+		f, err := strconv.ParseFloat(head, 64)
+		if err != nil {
+			return 0, fmt.Errorf("malformed multiplier in baseline ref %q: %v", ref, err)
+		}
+		if f <= 0 {
+			return 0, fmt.Errorf("non-positive multiplier in baseline ref %q", ref)
+		}
+		scale, ref = f, rest
+	}
 	if name, ok := strings.CutPrefix(ref, "bench:"); ok {
 		v, ok := measured[name]
 		if !ok {
 			return 0, fmt.Errorf("baseline benchmark %s not found in input", name)
 		}
-		return v, nil
+		return scale * v, nil
 	}
-	return lookupBaseline(ref)
+	v, err := lookupBaseline(ref)
+	return scale * v, err
 }
 
 // lookupBaseline resolves "file.json:dotted.path" to a number inside the

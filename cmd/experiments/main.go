@@ -37,10 +37,12 @@ func main() {
 		tele     cli.Telemetry
 		resil    cli.Resilience
 		degf     cli.DEG
+		simf     cli.Sim
 	)
 	tele.AddTelemetryFlags(flag.CommandLine)
 	resil.AddResilienceFlags(flag.CommandLine)
 	degf.AddDEGFlags(flag.CommandLine)
+	simf.AddSimFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list || *run == "" {
@@ -82,6 +84,7 @@ func main() {
 		DEGOverlap:      degf.Overlap,
 		DEGStream:       degf.Stream,
 		DEGChunk:        degf.Chunk,
+		SimBatch:        simf.Batch,
 	}
 	// Campaign grids are multi-minute; surface cell completions live
 	// whenever any telemetry is on.

@@ -216,3 +216,24 @@ func (r *Resilience) Apply(ev *dse.Evaluator) {
 	ev.StageTimeout = r.StageTimeout
 	ev.SkipFailures = r.SkipFailures
 }
+
+// Sim is the shared simulation flag set: the batched multi-config fast
+// path. Off by default; results are bit-identical either way (pinned by
+// internal/conformance), so the flag is purely a throughput knob.
+type Sim struct {
+	// Batch simulates sibling configs of each evaluation batch over one
+	// shared instruction stream (-sim-batch, ooo.RunBatch): the trace
+	// decode and branch-prediction replay are paid once per workload
+	// instead of once per config.
+	Batch bool
+}
+
+// AddSimFlags registers the simulation flags on fs.
+func (s *Sim) AddSimFlags(fs *flag.FlagSet) {
+	fs.BoolVar(&s.Batch, "sim-batch", false, "simulate a batch's sibling configs over one shared instruction stream (bit-identical results, amortized decode and branch replay)")
+}
+
+// Apply installs the simulation knobs on the evaluator.
+func (s *Sim) Apply(ev *dse.Evaluator) {
+	ev.SimBatch = s.Batch
+}

@@ -1,0 +1,344 @@
+// Package conformance is the differential-testing harness over the
+// simulator's four execution engines: per-config full-fidelity (Core.Run),
+// probe-lite (Core.RunLite), streaming (Core.RunStream), and batched
+// multi-config (ooo.RunBatch, full and lite). All four implement one
+// timing model, so for any (config, stream) pair they must agree exactly;
+// the package quantifies that over randomly drawn valid configurations.
+//
+// The oracle is the fingerprint family in internal/ooo: full engines are
+// compared through ooo.Fingerprint (every deterministic record field),
+// lite engines through ooo.TimingFingerprint (the lite-preserved subset),
+// and the chunked stream through ooo.ChunkedFingerprint. DEG bottleneck
+// attributions computed from the reference and batched traces are compared
+// structurally — agreement of the traces' annotations is necessary but not
+// sufficient for ArchExplorer, whose decisions consume the reports.
+//
+// When a draw disagrees, Shrink reduces the failing design point toward
+// the baseline one lattice step at a time, so the reported counterexample
+// is (locally) minimal and the offending parameter is usually legible
+// straight from the diff against Baseline.
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+
+	"archexplorer/internal/deg"
+	"archexplorer/internal/isa"
+	"archexplorer/internal/ooo"
+	"archexplorer/internal/pipetrace"
+	"archexplorer/internal/uarch"
+)
+
+// Gen draws random valid design points from a space. Deterministic for a
+// seed, so every corpus failure names the draw that reproduces it.
+type Gen struct {
+	Space *uarch.Space
+	rng   *rand.Rand
+}
+
+// NewGen returns a seeded generator over the standard Table 4 space.
+func NewGen(seed int64) *Gen {
+	return &Gen{Space: uarch.StandardSpace(), rng: rand.New(rand.NewSource(seed))}
+}
+
+// Point draws a design point whose decoded config passes validation.
+// Random points over the standard space are essentially always valid; the
+// loop guards against value tables whose cross product admits degenerate
+// corners.
+func (g *Gen) Point() uarch.Point {
+	for {
+		pt := g.Space.Random(g.rng)
+		if g.Space.Decode(pt).Validate() == nil {
+			return pt
+		}
+	}
+}
+
+// Config draws a random valid configuration.
+func (g *Gen) Config() uarch.Config { return g.Space.Decode(g.Point()) }
+
+// Mismatch is one engine disagreement: the named engine's fingerprint
+// diverged from the per-config reference run on this (config, workload).
+type Mismatch struct {
+	Engine    string // "batch", "batch-lite", "lite", "stream", "deg"
+	Workload  string
+	Config    uarch.Config
+	Want, Got uint64 // reference and diverging fingerprints (0 for "deg")
+}
+
+// Error implements error.
+func (m *Mismatch) Error() string {
+	return fmt.Sprintf("conformance: %s engine diverged on %s: fingerprint %#x, reference %#x\nconfig: %+v",
+		m.Engine, m.Workload, m.Got, m.Want, m.Config)
+}
+
+// Check cross-checks every engine for each config over one instruction
+// stream and returns the first disagreement as a *Mismatch (or the first
+// operational error). nil means all engines agreed on every config.
+//
+// The batched engine runs all configs in one RunBatch call (full and
+// lite), exactly how the evaluator's fast path uses it, so cross-lane
+// state leaks — the bug class batching invites — are in scope.
+func Check(stream []isa.Inst, wl string, cfgs []uarch.Config, withDEG bool) error {
+	if len(cfgs) == 0 {
+		return fmt.Errorf("conformance: no configs to check")
+	}
+	for _, cfg := range cfgs {
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
+	}
+	full, err := ooo.RunBatch(stream, cfgs, ooo.BatchOptions{})
+	if err != nil {
+		return err
+	}
+	defer releaseAll(full)
+	lite, err := ooo.RunBatch(stream, cfgs, ooo.BatchOptions{Lite: true})
+	if err != nil {
+		return err
+	}
+	defer releaseAll(lite)
+	for i, cfg := range cfgs {
+		if err := checkOne(stream, wl, cfg, full[i], lite[i], withDEG); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func releaseAll(res []ooo.BatchResult) {
+	for _, r := range res {
+		if r.Trace != nil {
+			r.Trace.Release()
+		}
+	}
+}
+
+// checkOne compares one config's batch lanes and single-config engines
+// against a fresh reference run.
+func checkOne(stream []isa.Inst, wl string, cfg uarch.Config, full, lite ooo.BatchResult, withDEG bool) error {
+	if full.Err != nil {
+		return full.Err
+	}
+	if lite.Err != nil {
+		return lite.Err
+	}
+
+	// Reference: the plain per-config full-fidelity engine.
+	core, err := ooo.New(cfg)
+	if err != nil {
+		return err
+	}
+	tr, st, err := core.Run(stream)
+	if err != nil {
+		return err
+	}
+	defer tr.Release()
+	ref := ooo.Fingerprint(tr, st)
+	refTiming := ooo.TimingFingerprint(tr, st)
+
+	if got := ooo.Fingerprint(full.Trace, full.Stats); got != ref {
+		return &Mismatch{Engine: "batch", Workload: wl, Config: cfg, Want: ref, Got: got}
+	}
+	if got := ooo.TimingFingerprint(lite.Trace, lite.Stats); got != refTiming {
+		return &Mismatch{Engine: "batch-lite", Workload: wl, Config: cfg, Want: refTiming, Got: got}
+	}
+
+	liteCore, err := ooo.New(cfg)
+	if err != nil {
+		return err
+	}
+	ltr, lst, err := liteCore.RunLite(stream)
+	if err != nil {
+		return err
+	}
+	gotLite := ooo.TimingFingerprint(ltr, lst)
+	ltr.Release()
+	if gotLite != refTiming {
+		return &Mismatch{Engine: "lite", Workload: wl, Config: cfg, Want: refTiming, Got: gotLite}
+	}
+
+	gotStream, err := streamFingerprint(cfg, stream)
+	if err != nil {
+		return err
+	}
+	if gotStream != ref {
+		return &Mismatch{Engine: "stream", Workload: wl, Config: cfg, Want: ref, Got: gotStream}
+	}
+
+	if withDEG {
+		refRep, _, _, err := deg.Analyze(tr, deg.Options{})
+		if err != nil {
+			return err
+		}
+		batchRep, _, _, err := deg.Analyze(full.Trace, deg.Options{})
+		if err != nil {
+			return err
+		}
+		if !reflect.DeepEqual(refRep, batchRep) {
+			return &Mismatch{Engine: "deg", Workload: wl, Config: cfg}
+		}
+	}
+	return nil
+}
+
+// streamFingerprint runs the streaming engine and folds its chunks through
+// the chunk-ordered fingerprint. Chunks are retained until the stats (the
+// hash preamble) are known, then released.
+func streamFingerprint(cfg uarch.Config, stream []isa.Inst) (uint64, error) {
+	core, err := ooo.New(cfg)
+	if err != nil {
+		return 0, err
+	}
+	var chunks []*pipetrace.Chunk
+	defer func() {
+		for _, c := range chunks {
+			c.Release()
+		}
+	}()
+	st, err := core.RunStream(stream, 0, func(c *pipetrace.Chunk) error {
+		chunks = append(chunks, c)
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return ooo.ChunkedFingerprint(st.Cycles, st, func(hash func(*pipetrace.Record)) {
+		for _, c := range chunks {
+			for i := range c.Records {
+				hash(&c.Records[i])
+			}
+		}
+	}), nil
+}
+
+// Shrink greedily minimises a failing design point toward the space's
+// baseline: move one parameter one lattice level toward the baseline point
+// and keep any move that preserves the failure, until no single step does.
+// The result is a locally minimal counterexample, so the offending
+// parameters are legible from a diff against Baseline. The predicate is
+// re-run on candidates only (never on pt itself), so callers pass a point
+// they already know fails.
+func Shrink(space *uarch.Space, pt uarch.Point, fails func(uarch.Point) bool) uarch.Point {
+	base := space.Nearest(uarch.Baseline())
+	for progress := true; progress; {
+		progress = false
+		for p := 0; p < uarch.NumParams; p++ {
+			for pt[p] != base[p] {
+				cand := pt
+				if cand[p] > base[p] {
+					cand[p]--
+				} else {
+					cand[p]++
+				}
+				if space.Decode(cand).Validate() != nil || !fails(cand) {
+					break
+				}
+				pt = cand
+				progress = true
+			}
+		}
+	}
+	return pt
+}
+
+// StrictCapacityParams are the pure window/register capacities of Table 4:
+// ROB, issue queue, load/store queues, and the physical register files.
+// Growing one only relaxes rename stalls — it admits instructions into
+// flight sooner but never reorders anything already in flight — so under
+// this timing model IPC is strictly monotonic in each of them. The
+// metamorphic suite asserts that with zero tolerance.
+func StrictCapacityParams() []uarch.Param {
+	return []uarch.Param{
+		uarch.ParamROB, uarch.ParamIQ, uarch.ParamLQ, uarch.ParamSQ,
+		uarch.ParamIntRF, uarch.ParamFpRF,
+	}
+}
+
+// FUParams are the functional-unit counts. Growth almost always helps, but
+// an extra unit can change which ready instruction issues first, and the
+// reordered memory operations then see different cache (LRU) and
+// store-forwarding state — a second-order effect that occasionally costs a
+// few cycles. Empirically (thousands of random grow-one-level pairs) the
+// worst observed regression is under 0.3% relative IPC, so the metamorphic
+// suite bounds FU growth with FUTolerance instead of demanding strictness.
+func FUParams() []uarch.Param {
+	return []uarch.Param{
+		uarch.ParamIntALU, uarch.ParamIntMultDiv, uarch.ParamFpALU, uarch.ParamFpMultDiv,
+	}
+}
+
+// CapacityParams is every resource the monotonicity suite grows: the
+// strict capacities followed by the FU counts. Predictor tables and caches
+// are deliberately excluded — bigger tables change which branches
+// mispredict and which lines survive, effects that are non-monotonic by
+// nature (aliasing can help).
+func CapacityParams() []uarch.Param {
+	return append(StrictCapacityParams(), FUParams()...)
+}
+
+// FUTolerance is the allowed relative IPC drop when growing one FU count:
+// an order of magnitude above the worst second-order regression observed,
+// far below what any real scheduling or accounting bug costs.
+const FUTolerance = 0.01
+
+// GrowthViolation reports a monotonicity break: growing Param one level
+// turned BaseIPC into GrownIPC, a drop beyond the tolerance.
+type GrowthViolation struct {
+	Param             uarch.Param
+	Workload          string
+	Base, Grown       uarch.Config
+	BaseIPC, GrownIPC float64
+}
+
+// Error implements error, printing the offending config pair.
+func (v *GrowthViolation) Error() string {
+	return fmt.Sprintf("conformance: IPC not monotonic in %v on %s: %.6f -> %.6f\n  base:  %+v\n  grown: %+v",
+		v.Param, v.Workload, v.BaseIPC, v.GrownIPC, v.Base, v.Grown)
+}
+
+// CheckGrowth grows prm one lattice level from pt and compares IPC over
+// stream: a relative drop beyond tol is returned as a *GrowthViolation.
+// checked is false when pt is already at the top level (or either config
+// fails validation) and nothing was compared.
+func CheckGrowth(space *uarch.Space, pt uarch.Point, prm uarch.Param, stream []isa.Inst, wl string, tol float64) (checked bool, err error) {
+	up := pt
+	if !space.Step(&up, prm, 1) {
+		return false, nil
+	}
+	base, grown := space.Decode(pt), space.Decode(up)
+	if base.Validate() != nil || grown.Validate() != nil {
+		return false, nil
+	}
+	a, err := IPC(base, stream)
+	if err != nil {
+		return true, err
+	}
+	b, err := IPC(grown, stream)
+	if err != nil {
+		return true, err
+	}
+	if b < a*(1-tol) {
+		return true, &GrowthViolation{
+			Param: prm, Workload: wl, Base: base, Grown: grown, BaseIPC: a, GrownIPC: b,
+		}
+	}
+	return true, nil
+}
+
+// IPC is the monotonicity metric: committed IPC of one probe-lite run of
+// cfg over stream.
+func IPC(cfg uarch.Config, stream []isa.Inst) (float64, error) {
+	core, err := ooo.New(cfg)
+	if err != nil {
+		return 0, err
+	}
+	tr, st, err := core.RunLite(stream)
+	if err != nil {
+		return 0, err
+	}
+	tr.Release()
+	return st.IPC(), nil
+}

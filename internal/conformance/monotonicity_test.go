@@ -1,0 +1,134 @@
+package conformance
+
+import (
+	"testing"
+
+	"archexplorer/internal/uarch"
+)
+
+// monoPoints draws the base designs the growth checks quantify over.
+func monoPoints(n int) []uarch.Point {
+	gen := NewGen(7)
+	pts := make([]uarch.Point, 0, n+1)
+	pts = append(pts, gen.Space.Nearest(uarch.Baseline()))
+	for len(pts) < n+1 {
+		pts = append(pts, gen.Point())
+	}
+	return pts
+}
+
+// TestMonotonicCapacityGrowth is the metamorphic half of the suite:
+// growing a window or register-file capacity one level admits instructions
+// into flight sooner but never reorders anything already in flight, so IPC
+// must not decrease — with zero tolerance. A violation prints the exact
+// config pair via GrowthViolation.
+func TestMonotonicCapacityGrowth(t *testing.T) {
+	n := 12
+	if testing.Short() {
+		n = 4
+	}
+	space := uarch.StandardSpace()
+	checked := 0
+	for _, name := range suiteNames {
+		st := stream(t, name, 1500)
+		for _, pt := range monoPoints(n) {
+			for _, prm := range StrictCapacityParams() {
+				did, err := CheckGrowth(space, pt, prm, st, name, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if did {
+					checked++
+				}
+			}
+		}
+	}
+	if checked < len(suiteNames)*n {
+		t.Fatalf("only %d growth pairs were comparable", checked)
+	}
+}
+
+// TestMonotonicFUGrowth bounds the FU counts: an extra unit can reorder
+// issue and perturb downstream cache state by a few cycles (worst observed
+// ~0.3% relative), so growth is held to FUTolerance instead of strictness.
+// Anything past the tolerance is a real scheduling or accounting bug.
+func TestMonotonicFUGrowth(t *testing.T) {
+	n := 12
+	if testing.Short() {
+		n = 4
+	}
+	space := uarch.StandardSpace()
+	checked := 0
+	for _, name := range suiteNames {
+		st := stream(t, name, 1500)
+		for _, pt := range monoPoints(n) {
+			for _, prm := range FUParams() {
+				did, err := CheckGrowth(space, pt, prm, st, name, FUTolerance)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if did {
+					checked++
+				}
+			}
+		}
+	}
+	if checked < len(suiteNames)*n {
+		t.Fatalf("only %d growth pairs were comparable", checked)
+	}
+}
+
+// TestCapacityParamsCoverBoth pins the registry split: the union is
+// exactly strict + FU, with no overlap, and every entry is a real capacity
+// dimension of the space.
+func TestCapacityParamsCoverBoth(t *testing.T) {
+	all := CapacityParams()
+	if len(all) != len(StrictCapacityParams())+len(FUParams()) {
+		t.Fatalf("CapacityParams holds %d entries", len(all))
+	}
+	seen := map[uarch.Param]bool{}
+	space := uarch.StandardSpace()
+	for _, p := range all {
+		if seen[p] {
+			t.Fatalf("param %v listed twice", p)
+		}
+		seen[p] = true
+		if space.Levels(p) < 2 {
+			t.Fatalf("param %v has no room to grow", p)
+		}
+	}
+}
+
+// TestCheckGrowthDetectsDrop wires the violation path: shrinking (a
+// negative "growth" simulated by swapping base and grown) must trip the
+// detector when the drop is real. We synthesise it by checking a top-level
+// point, where Step fails and checked must be false.
+func TestCheckGrowthDetectsDrop(t *testing.T) {
+	space := uarch.StandardSpace()
+	pt := space.Nearest(uarch.Baseline())
+	st := stream(t, "458.sjeng", 800)
+
+	top := pt
+	top[uarch.ParamROB] = space.Levels(uarch.ParamROB) - 1
+	did, err := CheckGrowth(space, top, uarch.ParamROB, st, "458.sjeng", 0)
+	if did || err != nil {
+		t.Fatalf("top-level growth reported checked=%v err=%v", did, err)
+	}
+
+	// An impossible tolerance (-1 means "must improve by >100%") turns any
+	// real pair into a violation, exercising the report path end to end.
+	did, err = CheckGrowth(space, pt, uarch.ParamROB, st, "458.sjeng", -1)
+	if !did {
+		t.Fatal("baseline growth not comparable")
+	}
+	v, ok := err.(*GrowthViolation)
+	if !ok {
+		t.Fatalf("expected a GrowthViolation, got %v", err)
+	}
+	if v.Param != uarch.ParamROB || v.Workload != "458.sjeng" || v.BaseIPC <= 0 || v.GrownIPC <= 0 {
+		t.Fatalf("malformed violation: %+v", v)
+	}
+	if v.Base == v.Grown {
+		t.Fatal("violation does not name distinct configs")
+	}
+}

@@ -1,0 +1,123 @@
+package conformance
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"archexplorer/internal/ooo"
+	"archexplorer/internal/uarch"
+)
+
+// TestCheckOneDetectsBatchDivergence drives the detector itself: hand
+// checkOne batch lanes simulated with a DIFFERENT config than the
+// reference and it must name the diverging engine. This is the only way
+// to exercise the mismatch paths while the real engines agree.
+func TestCheckOneDetectsBatchDivergence(t *testing.T) {
+	st := stream(t, "458.sjeng", 600)
+	space := uarch.StandardSpace()
+	ref := space.Decode(space.Nearest(uarch.Baseline()))
+	other := ref
+	other.Width = ref.Width * 2
+
+	lanes := func(cfg uarch.Config, lite bool) ooo.BatchResult {
+		res, err := ooo.RunBatch(st, []uarch.Config{cfg}, ooo.BatchOptions{Lite: lite})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res[0]
+	}
+	refFull, refLite := lanes(ref, false), lanes(ref, true)
+	otherFull, otherLite := lanes(other, false), lanes(other, true)
+	defer func() {
+		for _, r := range []ooo.BatchResult{refFull, refLite, otherFull, otherLite} {
+			r.Trace.Release()
+		}
+	}()
+
+	var m *Mismatch
+	if err := checkOne(st, "wl", ref, otherFull, refLite, false); !errors.As(err, &m) || m.Engine != "batch" {
+		t.Fatalf("divergent full lane not caught: %v", err)
+	}
+	if err := checkOne(st, "wl", ref, refFull, otherLite, false); !errors.As(err, &m) || m.Engine != "batch-lite" {
+		t.Fatalf("divergent lite lane not caught: %v", err)
+	}
+	if err := checkOne(st, "wl", ref, refFull, refLite, true); err != nil {
+		t.Fatalf("agreeing lanes rejected: %v", err)
+	}
+
+	// Poisoned lanes short-circuit with their own error.
+	poison := errors.New("lane poisoned")
+	if err := checkOne(st, "wl", ref, ooo.BatchResult{Err: poison}, refLite, false); !errors.Is(err, poison) {
+		t.Fatalf("full lane error not surfaced: %v", err)
+	}
+	if err := checkOne(st, "wl", ref, refFull, ooo.BatchResult{Err: poison}, false); !errors.Is(err, poison) {
+		t.Fatalf("lite lane error not surfaced: %v", err)
+	}
+
+	// A config the reference engine itself rejects surfaces as an error.
+	bad := ref
+	bad.IntRF = 2
+	if err := checkOne(st, "wl", bad, refFull, refLite, false); err == nil {
+		t.Fatal("invalid reference config accepted")
+	}
+	// An empty stream fails the reference run.
+	if err := checkOne(nil, "wl", ref, refFull, refLite, false); err == nil {
+		t.Fatal("empty stream accepted by the reference run")
+	}
+}
+
+// TestStreamFingerprintErrors: operational failures of the streaming
+// engine propagate instead of producing a bogus hash.
+func TestStreamFingerprintErrors(t *testing.T) {
+	ref := uarch.Baseline()
+	if _, err := streamFingerprint(ref, nil); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+	bad := ref
+	bad.IntRF = 2
+	if _, err := streamFingerprint(bad, stream(t, "458.sjeng", 200)); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+// TestIPCErrors: the monotonicity metric refuses invalid configs and empty
+// streams.
+func TestIPCErrors(t *testing.T) {
+	bad := uarch.Baseline()
+	bad.IntRF = 2
+	if _, err := IPC(bad, stream(t, "458.sjeng", 200)); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := IPC(uarch.Baseline(), nil); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+// TestCheckGrowthPropagatesErrors: a simulation failure inside the growth
+// pair surfaces as an error, not a verdict.
+func TestCheckGrowthPropagatesErrors(t *testing.T) {
+	space := uarch.StandardSpace()
+	pt := space.Nearest(uarch.Baseline())
+	did, err := CheckGrowth(space, pt, uarch.ParamROB, nil, "wl", 0)
+	if !did || err == nil {
+		t.Fatalf("empty-stream growth check: checked=%v err=%v", did, err)
+	}
+}
+
+// TestGrowthViolationError: the report prints the parameter, workload,
+// both IPCs, and both configs.
+func TestGrowthViolationError(t *testing.T) {
+	base := uarch.Baseline()
+	grown := base
+	grown.ROBEntries = base.ROBEntries * 2
+	v := &GrowthViolation{
+		Param: uarch.ParamROB, Workload: "429.mcf",
+		Base: base, Grown: grown, BaseIPC: 1.5, GrownIPC: 1.25,
+	}
+	for _, want := range []string{"ROB", "429.mcf", "1.5", "1.25", "base:", "grown:"} {
+		if !strings.Contains(v.Error(), want) {
+			t.Fatalf("violation report %q missing %q", v.Error(), want)
+		}
+	}
+}

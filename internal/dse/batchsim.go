@@ -1,0 +1,260 @@
+package dse
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"archexplorer/internal/fault"
+	"archexplorer/internal/obs"
+	"archexplorer/internal/ooo"
+	"archexplorer/internal/pipetrace"
+	"archexplorer/internal/uarch"
+	"archexplorer/internal/workload"
+)
+
+// The batched-simulation fast path: when a batch carries two or more jobs
+// that must actually simulate, every job runs the same workloads at the
+// same trace length with the same generator seed — the batch grouping key
+// (workload, tracelen, seed) is satisfied per workload across the whole
+// job set by construction — so the per-workload simulations are N configs
+// over ONE shared instruction stream. ooo.RunBatch simulates them in a
+// single pass (shared stream iteration, shared branch replay per distinct
+// predictor front end), and the pre-phase below stores each lane's trace
+// and stats as a seed the per-job sim stage consumes instead of re-running
+// the simulator. Everything downstream — warm-window probes, power, DEG,
+// reduction, journaling — is unchanged, and the consumed outputs are
+// bit-identical to per-config runs (pinned by internal/conformance), so
+// enabling the fast path never changes results.
+
+// simSeed is one (job, workload) product of the batched pre-phase: a
+// trace+stats pair consumed at most once by that job's sim stage. Unused
+// seeds (the job was abandoned, or an injected fault made the stage skip
+// its attempt) are released after the compute phase so no trace leaks.
+type simSeed struct {
+	tr    *pipetrace.Trace
+	stats *ooo.Stats
+	// durNS is this lane's share of the batch pass's wall-clock (elapsed /
+	// lanes): the consuming stage records it as its sim time so per-eval
+	// stage accounting still sums to the real compute spent.
+	durNS int64
+	taken atomic.Bool
+}
+
+// take claims the seed's outputs; only the first caller succeeds. A timed-
+// out attempt that claimed the seed keeps it (its discard hook releases
+// the trace), and the retry finds the seed gone and falls back to a live
+// per-config simulation.
+func (s *simSeed) take() (*pipetrace.Trace, *ooo.Stats, bool) {
+	if s == nil || !s.taken.CompareAndSwap(false, true) {
+		return nil, nil, false
+	}
+	return s.tr, s.stats, true
+}
+
+// discard releases the trace of a seed nobody consumed.
+func (s *simSeed) discard() {
+	if s != nil && s.taken.CompareAndSwap(false, true) {
+		s.tr.Release()
+	}
+}
+
+// batchSeeds is the pre-phase's result: per-(job, workload) seeds plus the
+// telemetry to journal at commit — one sim_batch span and one histogram
+// observation per batched workload, and the fault events of workloads that
+// fell back to per-config simulation.
+type batchSeeds struct {
+	jobs [][]*simSeed // aligned with the eligible jobs; inner slice per workload
+	// spans and faults are indexed by workload so the commit phase emits
+	// them in suite order regardless of the fan-out's completion order.
+	spans  []*obs.SpanEvent
+	faults []*obs.FaultEvent
+	// killErr aborts the whole batch call (kill-class injection at the
+	// sim_batch site), mirroring a kill anywhere else in the pipeline.
+	killErr error
+}
+
+// discardUnused releases every seed that no sim stage consumed.
+func (bs *batchSeeds) discardUnused() {
+	if bs == nil {
+		return
+	}
+	for _, seeds := range bs.jobs {
+		for _, s := range seeds {
+			s.discard()
+		}
+	}
+}
+
+// emit journals the pre-phase's telemetry under the batch span: per-
+// workload sim_batch stage spans (suite order) and the fallback fault
+// events. Runs on the committing goroutine before any job commits, so the
+// span/event sequence is deterministic at any parallelism.
+func (bs *batchSeeds) emit(rec *obs.Recorder, batchSpan int64) {
+	if bs == nil || batchSpan == 0 {
+		return
+	}
+	for _, f := range bs.faults {
+		if f != nil {
+			rec.Emit(f)
+		}
+	}
+	for _, s := range bs.spans {
+		if s != nil {
+			s.Span = rec.NextSpan()
+			s.Parent = batchSpan
+			rec.Emit(s)
+		}
+	}
+}
+
+// batchEligible selects the jobs the pre-phase will simulate together:
+// jobs that will really run the simulator (not served from the checkpoint
+// replay store) with a decodable, valid config. Order follows the jobs
+// slice, so lane order — and therefore the whole fast path — is
+// deterministic.
+func (ev *Evaluator) batchEligible(jobs []*job) []*job {
+	var elig []*job
+	for _, j := range jobs {
+		if ev.restoredWillServe(j) {
+			continue
+		}
+		cfg := ev.Space.Decode(j.key.pt)
+		if cfg.Validate() != nil {
+			continue // compute() surfaces the validation error as before
+		}
+		elig = append(elig, j)
+	}
+	return elig
+}
+
+// restoredWillServe mirrors serveRestored's decision without materialising
+// the evaluation: such a job never reaches its sim stage, so seeding it
+// would only strand traces.
+func (ev *Evaluator) restoredWillServe(j *job) bool {
+	ev.mu.Lock()
+	r, ok := ev.restored[j.key]
+	ev.mu.Unlock()
+	if !ok {
+		return false
+	}
+	return r.Failed || !(j.withDEG && r.Report == nil)
+}
+
+// runBatchSim is the batched-simulation pre-phase of Evaluator.batch: it
+// fans the suite's workloads out (under the same leaf gate as the per-job
+// compute phase), runs one ooo.RunBatch per workload over the eligible
+// jobs' configs, and plants the per-lane results as seeds on the jobs. Any
+// failure short of a kill degrades to per-config simulation — a workload
+// whose batch pass failed simply plants no seeds — so the fast path can
+// only ever add speed, never failures.
+func (ev *Evaluator) runBatchSim(jobs []*job, withDEG, probe bool, leaf func(func())) *batchSeeds {
+	elig := ev.batchEligible(jobs)
+	if len(elig) < 2 {
+		return nil // nothing to amortise
+	}
+	traceLen, _ := ev.planCost(probe)
+	cfgs := make([]uarch.Config, len(elig))
+	for i, j := range elig {
+		cfgs[i] = ev.Space.Decode(j.key.pt)
+	}
+
+	bs := &batchSeeds{
+		jobs:   make([][]*simSeed, len(elig)),
+		spans:  make([]*obs.SpanEvent, len(ev.Workloads)),
+		faults: make([]*obs.FaultEvent, len(ev.Workloads)),
+	}
+	for i := range bs.jobs {
+		bs.jobs[i] = make([]*simSeed, len(ev.Workloads))
+	}
+
+	var killMu sync.Mutex
+	rec := ev.Obs
+	runOne := func(k int, opt ooo.BatchOptions) {
+		wl := ev.Workloads[k]
+		stream, err := workload.CachedTrace(wl, traceLen)
+		if err != nil {
+			return // the jobs' own trace stages will surface it
+		}
+		if err := ev.Faults.Hit(fault.SiteSimBatch); err != nil {
+			if fault.IsKill(err) {
+				killMu.Lock()
+				if bs.killErr == nil {
+					bs.killErr = err
+				}
+				killMu.Unlock()
+				return
+			}
+			bs.faults[k] = &obs.FaultEvent{
+				Site: fault.SiteSimBatch, Class: fault.Classify(err).String(),
+				Action: "fallback", Workload: wl.Name, Err: err.Error(),
+			}
+			return
+		}
+		start := rec.Clock()
+		t0 := time.Now()
+		res, err := ooo.RunBatch(stream, cfgs, opt)
+		elapsed := time.Since(t0)
+		if err != nil {
+			return // whole-call failure: every job falls back
+		}
+		share := int64(elapsed) / int64(len(res))
+		for i, r := range res {
+			if r.Err != nil {
+				// This lane's failure is deterministic; the job's own sim
+				// stage will reproduce and report it through the normal
+				// resilience path.
+				continue
+			}
+			bs.jobs[i][k] = &simSeed{tr: r.Trace, stats: r.Stats, durNS: share}
+		}
+		if rec.SpansActive() {
+			bs.spans[k] = &obs.SpanEvent{
+				SpanKind: obs.SpanStage, Name: "sim_batch", Workload: wl.Name,
+				StartNS: start, DurNS: rec.Clock() - start,
+			}
+		}
+		rec.Histogram(obs.MetricSimBatchSize).Observe(float64(len(res)))
+	}
+
+	if leaf == nil {
+		// Sequential evaluator: the pass itself stays single-threaded too,
+		// so fault-injection hit order and scheduling remain deterministic.
+		for k := range ev.Workloads {
+			runOne(k, ooo.BatchOptions{Lite: !withDEG, Workers: 1})
+		}
+	} else {
+		var wg sync.WaitGroup
+		for k := range ev.Workloads {
+			k := k
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// Workload goroutines are structural; the batch workers are
+				// the CPU-bound leaves and run behind the compute gate.
+				runOne(k, ooo.BatchOptions{Lite: !withDEG, Gate: leaf})
+			}()
+		}
+		wg.Wait()
+	}
+
+	if bs.killErr != nil {
+		bs.discardUnused()
+	}
+	for _, j := range elig {
+		// Attach each job's seed row; compute() hands the row to the
+		// workload slots.
+		j.seeds = bs.rowFor(j, elig)
+	}
+	return bs
+}
+
+// rowFor returns the seed row of job j (nil if j is not in elig).
+func (bs *batchSeeds) rowFor(j *job, elig []*job) []*simSeed {
+	for i, e := range elig {
+		if e == j {
+			return bs.jobs[i]
+		}
+	}
+	return nil
+}

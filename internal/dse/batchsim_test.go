@@ -1,0 +1,382 @@
+package dse
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"archexplorer/internal/fault"
+	"archexplorer/internal/obs"
+	"archexplorer/internal/uarch"
+)
+
+// batchPoints draws n random valid points with one duplicate, the standard
+// shape of an explorer-issued batch.
+func batchPoints(seed int64, n int) []uarch.Point {
+	rng := rand.New(rand.NewSource(seed))
+	space := uarch.StandardSpace()
+	pts := make([]uarch.Point, n)
+	for i := range pts {
+		pts[i] = space.Random(rng)
+	}
+	if n > 2 {
+		pts[n-1] = pts[1] // duplicate inside the batch
+	}
+	return pts
+}
+
+// sameHistories asserts two evaluators produced byte-identical campaigns.
+func sameHistories(t *testing.T, label string, a, b *Evaluator) {
+	t.Helper()
+	if a.Sims != b.Sims {
+		t.Fatalf("%s: Sims differ: %v vs %v", label, a.Sims, b.Sims)
+	}
+	if len(a.History) != len(b.History) {
+		t.Fatalf("%s: history lengths differ: %d vs %d", label, len(a.History), len(b.History))
+	}
+	for i := range a.History {
+		sameEvaluation(t, label, a.History[i], b.History[i])
+	}
+}
+
+// TestSimBatchParityEvaluateBatch is the fast path's contract: enabling
+// SimBatch changes nothing observable — PPA, per-workload IPC, DEG reports,
+// budget accounting, history — for lite and full-fidelity batches alike.
+func TestSimBatchParityEvaluateBatch(t *testing.T) {
+	for _, withDEG := range []bool{false, true} {
+		pts := batchPoints(21, 6)
+
+		plain := NewEvaluator(uarch.StandardSpace(), miniSuite(), 1000)
+		if _, err := plain.EvaluateBatch(pts, withDEG); err != nil {
+			t.Fatal(err)
+		}
+
+		batched := NewEvaluator(uarch.StandardSpace(), miniSuite(), 1000)
+		batched.SimBatch = true
+		evals, err := batched.EvaluateBatch(pts, withDEG)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameHistories(t, "evaluate", plain, batched)
+		if evals[len(evals)-1] != evals[1] {
+			t.Fatal("duplicate point did not share its evaluation")
+		}
+	}
+}
+
+// TestSimBatchParityProbeBatch: probes batch too (short traces, warm-window
+// IPC read off the materialized trace), with identical results.
+func TestSimBatchParityProbeBatch(t *testing.T) {
+	pts := batchPoints(22, 5)
+
+	plain := NewEvaluator(uarch.StandardSpace(), miniSuite(), 1600)
+	if _, err := plain.ProbeBatch(pts); err != nil {
+		t.Fatal(err)
+	}
+	batched := NewEvaluator(uarch.StandardSpace(), miniSuite(), 1600)
+	batched.SimBatch = true
+	if _, err := batched.ProbeBatch(pts); err != nil {
+		t.Fatal(err)
+	}
+	sameHistories(t, "probe", plain, batched)
+}
+
+// TestSimBatchParityParallel: the fast path composes with the parallel
+// fan-out — a Parallelism-4 batched campaign matches the sequential
+// unbatched one exactly.
+func TestSimBatchParityParallel(t *testing.T) {
+	pts := batchPoints(23, 6)
+
+	seq := NewEvaluator(uarch.StandardSpace(), miniSuite(), 1000)
+	seq.Parallelism = 1
+	if _, err := seq.EvaluateBatch(pts, true); err != nil {
+		t.Fatal(err)
+	}
+	par := NewEvaluator(uarch.StandardSpace(), miniSuite(), 1000)
+	par.Parallelism = 4
+	par.SimBatch = true
+	if _, err := par.EvaluateBatch(pts, true); err != nil {
+		t.Fatal(err)
+	}
+	sameHistories(t, "parallel", seq, par)
+}
+
+// TestSimBatchStreamedBypass: streamed evaluations never see the pre-phase
+// (the fused sim+DEG stage has no trace to seed), and the combination still
+// produces the streamed run's exact results.
+func TestSimBatchStreamedBypass(t *testing.T) {
+	pts := batchPoints(24, 4)
+
+	plain := NewEvaluator(uarch.StandardSpace(), miniSuite(), 1000)
+	plain.DEGStream = true
+	plain.DEGWindow = 400
+	if _, err := plain.EvaluateBatch(pts, true); err != nil {
+		t.Fatal(err)
+	}
+	batched := NewEvaluator(uarch.StandardSpace(), miniSuite(), 1000)
+	batched.DEGStream = true
+	batched.DEGWindow = 400
+	batched.SimBatch = true
+	rec := obs.New()
+	batched.Obs = rec
+	if _, err := batched.EvaluateBatch(pts, true); err != nil {
+		t.Fatal(err)
+	}
+	sameHistories(t, "streamed", plain, batched)
+	if _, _, count := rec.Histogram(obs.MetricSimBatchSize).Snapshot(); count != 0 {
+		t.Fatalf("streamed batch ran the pre-phase %d times", count)
+	}
+}
+
+// simBatchJournal runs one batched EvaluateBatch with a journal attached.
+func simBatchJournal(t *testing.T, parallelism int, plan *fault.Plan) (*Evaluator, []obs.Event) {
+	t.Helper()
+	ev := NewEvaluator(uarch.StandardSpace(), miniSuite(), 1000)
+	ev.SimBatch = true
+	ev.Parallelism = parallelism
+	ev.Faults = plan
+	ev.Retry = noSleepRetry
+	rec := obs.New()
+	var buf bytes.Buffer
+	rec.SetJournalWriter(&buf)
+	ev.Obs = rec
+	if _, err := ev.EvaluateBatch(batchPoints(25, 5), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ReadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev, events
+}
+
+// TestSimBatchJournalDeterministic: the pre-phase's telemetry is committed
+// on the driving goroutine, so the journal — sim_batch spans included — is
+// identical at any parallelism.
+func TestSimBatchJournalDeterministic(t *testing.T) {
+	_, seqEvents := simBatchJournal(t, 1, nil)
+	_, parEvents := simBatchJournal(t, 4, nil)
+	seq, par := spanShapes(seqEvents), spanShapes(parEvents)
+	if len(seq) != len(par) {
+		t.Fatalf("span counts differ: sequential %d, parallel %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("span tree diverges at span %d:\n  seq: %+v\n  par: %+v", i, seq[i], par[i])
+		}
+	}
+}
+
+// TestSimBatchSpans checks the pre-phase's span emission: one sim_batch
+// stage span per workload, in suite order, parented by the batch span and
+// preceding every eval span.
+func TestSimBatchSpans(t *testing.T) {
+	ev, events := simBatchJournal(t, 1, nil)
+	shapes := spanShapes(events)
+
+	var batchSpan int64
+	for _, s := range shapes {
+		if s.kind == obs.SpanBatch {
+			batchSpan = s.span
+		}
+	}
+	if batchSpan == 0 {
+		t.Fatal("no batch span journaled")
+	}
+	var simBatch []spanShape
+	firstEval := -1
+	for i, s := range shapes {
+		if s.kind == obs.SpanStage && s.name == "sim_batch" {
+			simBatch = append(simBatch, s)
+			if firstEval >= 0 {
+				t.Fatalf("sim_batch span %d after an eval span", i)
+			}
+		}
+		if s.kind == obs.SpanEval && firstEval < 0 {
+			firstEval = i
+		}
+	}
+	if len(simBatch) != len(ev.Workloads) {
+		t.Fatalf("journaled %d sim_batch spans, want %d", len(simBatch), len(ev.Workloads))
+	}
+	for k, s := range simBatch {
+		if s.parent != batchSpan {
+			t.Fatalf("sim_batch span parented to %d, batch span is %d", s.parent, batchSpan)
+		}
+		if s.workload != ev.Workloads[k].Name {
+			t.Fatalf("sim_batch span %d carries workload %q, want %q (suite order)",
+				k, s.workload, ev.Workloads[k].Name)
+		}
+	}
+}
+
+// TestSimBatchHistogram: each batched workload pass observes the lane count
+// on archx_sim_batch_size — count = workloads, every sample = unique jobs.
+func TestSimBatchHistogram(t *testing.T) {
+	ev, _ := simBatchJournal(t, 1, nil)
+	_, sum, count := ev.Obs.Histogram(obs.MetricSimBatchSize).Snapshot()
+	wls, uniq := len(ev.Workloads), len(ev.History)
+	if count != uint64(wls) {
+		t.Fatalf("histogram count %d, want one observation per workload (%d)", count, wls)
+	}
+	if sum != float64(wls*uniq) {
+		t.Fatalf("histogram sum %v, want %d workloads x %d lanes", sum, wls, uniq)
+	}
+}
+
+// TestSimBatchSingleJobSkips: one unique design has nothing to amortise, so
+// the pre-phase must not run at all.
+func TestSimBatchSingleJobSkips(t *testing.T) {
+	ev := NewEvaluator(uarch.StandardSpace(), miniSuite(), 1000)
+	ev.SimBatch = true
+	rec := obs.New()
+	ev.Obs = rec
+	pt := ev.Space.Nearest(uarch.Baseline())
+	if _, err := ev.EvaluateBatch([]uarch.Point{pt, pt}, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, count := rec.Histogram(obs.MetricSimBatchSize).Snapshot(); count != 0 {
+		t.Fatalf("single-job batch ran the pre-phase %d times", count)
+	}
+}
+
+// TestSimBatchTransientSimFaultsAbsorbed: SiteSim injections fire before
+// the stage consumes its seed, so the failed attempt leaves the seed in
+// place and the retry picks it up — results stay identical to a clean run.
+func TestSimBatchTransientSimFaultsAbsorbed(t *testing.T) {
+	pts := batchPoints(26, 4)
+	clean := NewEvaluator(uarch.StandardSpace(), miniSuite(), 1000)
+	if _, err := clean.EvaluateBatch(pts, true); err != nil {
+		t.Fatal(err)
+	}
+
+	plan := fault.MustPlan(
+		fault.Injection{Site: fault.SiteSim, Nth: 1, Count: 2, Class: fault.Transient},
+	)
+	faulted := NewEvaluator(uarch.StandardSpace(), miniSuite(), 1000)
+	faulted.SimBatch = true
+	faulted.Parallelism = 1
+	faulted.Faults = plan
+	faulted.Retry = noSleepRetry
+	if _, err := faulted.EvaluateBatch(pts, true); err != nil {
+		t.Fatal(err)
+	}
+	sameHistories(t, "transient-sim", clean, faulted)
+	if plan.Hits(fault.SiteSim) < 3 {
+		t.Fatalf("expected retries at the sim site, got %d hits", plan.Hits(fault.SiteSim))
+	}
+}
+
+// TestSimBatchPermanentSimFaultsEquivalent: a blanket permanent failure at
+// the sim site skips every design identically whether or not the batched
+// pre-phase seeded it first, and the stranded seeds all recycle.
+func TestSimBatchPermanentSimFaultsEquivalent(t *testing.T) {
+	base := tracePoolLive()
+	pts := batchPoints(27, 4)
+	run := func(simBatch bool) *Evaluator {
+		ev := NewEvaluator(uarch.StandardSpace(), miniSuite(), 1000)
+		ev.SimBatch = simBatch
+		ev.Parallelism = 1
+		ev.SkipFailures = true
+		ev.Faults = fault.MustPlan(
+			fault.Injection{Site: fault.SiteSim, Nth: 1, Count: 1 << 20, Class: fault.Permanent},
+		)
+		ev.Retry = noSleepRetry
+		if _, err := ev.EvaluateBatch(pts, true); err != nil {
+			t.Fatal(err)
+		}
+		return ev
+	}
+	plain, batched := run(false), run(true)
+	sameHistories(t, "permanent-sim", plain, batched)
+	for _, e := range batched.History {
+		if !e.Failed || e.FailSite != fault.SiteSim {
+			t.Fatalf("expected sim failure, got %+v", e)
+		}
+	}
+	waitPoolDrained(t, base)
+}
+
+// TestSimBatchFallbackOnSiteFault: a failure injected at the sim_batch site
+// degrades that workload to per-config simulation — same results as a clean
+// run, one "fallback" fault event journaled, nothing leaked.
+func TestSimBatchFallbackOnSiteFault(t *testing.T) {
+	base := tracePoolLive()
+	pts := batchPoints(25, 5)
+	clean := NewEvaluator(uarch.StandardSpace(), miniSuite(), 1000)
+	if _, err := clean.EvaluateBatch(pts, true); err != nil {
+		t.Fatal(err)
+	}
+
+	plan := fault.MustPlan(
+		fault.Injection{Site: fault.SiteSimBatch, Nth: 2, Class: fault.Permanent},
+	)
+	faulted, events := simBatchJournal(t, 1, plan)
+	sameHistories(t, "fallback", clean, faulted)
+
+	var fallbacks []*obs.FaultEvent
+	for _, e := range events {
+		if f, ok := e.(*obs.FaultEvent); ok && f.Action == "fallback" {
+			fallbacks = append(fallbacks, f)
+		}
+	}
+	if len(fallbacks) != 1 {
+		t.Fatalf("journaled %d fallback events, want 1", len(fallbacks))
+	}
+	f := fallbacks[0]
+	if f.Site != fault.SiteSimBatch || f.Class != "permanent" ||
+		f.Workload != faulted.Workloads[1].Name || f.Err == "" {
+		t.Fatalf("malformed fallback event: %+v", f)
+	}
+	// The degraded workload's pass never ran, so its histogram sample is
+	// missing too: one observation per surviving workload.
+	_, _, count := faulted.Obs.Histogram(obs.MetricSimBatchSize).Snapshot()
+	if want := uint64(len(faulted.Workloads) - 1); count != want {
+		t.Fatalf("histogram count %d, want %d", count, want)
+	}
+	waitPoolDrained(t, base)
+}
+
+// TestSimBatchKillAborts: a kill-class injection at the sim_batch site
+// unwinds the whole batch call, like a kill anywhere else.
+func TestSimBatchKillAborts(t *testing.T) {
+	base := tracePoolLive()
+	ev := NewEvaluator(uarch.StandardSpace(), miniSuite(), 1000)
+	ev.SimBatch = true
+	ev.Parallelism = 1
+	ev.SkipFailures = true // kills must abort even in skip mode
+	ev.Faults = fault.MustPlan(
+		fault.Injection{Site: fault.SiteSimBatch, Nth: 1, Class: fault.Kill},
+	)
+	_, err := ev.EvaluateBatch(batchPoints(28, 4), true)
+	if err == nil || !fault.IsKill(err) {
+		t.Fatalf("expected kill to surface, got %v", err)
+	}
+	if len(ev.History) != 0 {
+		t.Fatalf("killed batch committed %d evaluations", len(ev.History))
+	}
+	waitPoolDrained(t, base)
+}
+
+// TestSimBatchNoTraceLeak: every seed is either consumed by its sim stage
+// or discarded after the compute phase — the trace pool balances after
+// lite, full, and probe batches.
+func TestSimBatchNoTraceLeak(t *testing.T) {
+	base := tracePoolLive()
+	ev := NewEvaluator(uarch.StandardSpace(), miniSuite(), 1000)
+	ev.SimBatch = true
+	pts := batchPoints(29, 5)
+	if _, err := ev.EvaluateBatch(pts, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.EvaluateBatch(pts, true); err != nil { // DEG upgrade re-batches
+		t.Fatal(err)
+	}
+	if _, err := ev.ProbeBatch(batchPoints(30, 4)); err != nil {
+		t.Fatal(err)
+	}
+	waitPoolDrained(t, base)
+}

@@ -79,6 +79,11 @@ type Options struct {
 	DEGStream  bool
 	DEGChunk   int
 
+	// SimBatch turns on the batched multi-config simulation fast path in
+	// every evaluator the harness builds (see dse.Evaluator.SimBatch);
+	// results are bit-identical either way.
+	SimBatch bool
+
 	// Retry, StageTimeout, and SkipFailures are the evaluator resilience
 	// policy applied to every evaluator the harness builds (see dse).
 	Retry        fault.Retry
@@ -166,6 +171,7 @@ func newEvaluator(o Options, suite []workload.Profile) *dse.Evaluator {
 	ev.DEGOverlap = o.DEGOverlap
 	ev.DEGStream = o.DEGStream
 	ev.DEGChunk = o.DEGChunk
+	ev.SimBatch = o.SimBatch
 	return ev
 }
 

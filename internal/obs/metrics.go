@@ -50,11 +50,13 @@ const (
 	// streaming sim->DEG pipeline (replaces the sim and deg histograms on
 	// streamed evaluations).
 	MetricStageDEGStream = "archx_stage_deg_stream_seconds"
-	MetricSimInsts       = "archx_sim_insts_total"         // instructions committed by the cycle-level simulator
-	MetricSimInstRate    = "archx_sim_insts_per_sec"       // throughput of the most recent simulation (gauge)
-	MetricDEGWindows     = "archx_deg_windows"             // windows of the last windowed analysis (gauge)
-	MetricDEGPeakEdges   = "archx_deg_peak_edges"          // largest single-window edge count (gauge)
-	MetricDEGDrops       = "archx_deg_dropped_edges_total" // defensively dropped DEG edges (corruption indicator)
+	MetricSimInsts       = "archx_sim_insts_total"   // instructions committed by the cycle-level simulator
+	MetricSimInstRate    = "archx_sim_insts_per_sec" // throughput of the most recent simulation (gauge)
+	MetricSimBatchSize   = "archx_sim_batch_size"    // histogram: configs per batched-simulation pass
+
+	MetricDEGWindows   = "archx_deg_windows"             // windows of the last windowed analysis (gauge)
+	MetricDEGPeakEdges = "archx_deg_peak_edges"          // largest single-window edge count (gauge)
+	MetricDEGDrops     = "archx_deg_dropped_edges_total" // defensively dropped DEG edges (corruption indicator)
 	// Runtime self-profile gauges, sampled by the recorder's runtime
 	// sampler (started by the live dashboard, or explicitly via
 	// Recorder.StartRuntimeSampler) so a stalled campaign can be triaged

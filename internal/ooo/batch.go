@@ -1,0 +1,307 @@
+package ooo
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"archexplorer/internal/bpred"
+	"archexplorer/internal/isa"
+	"archexplorer/internal/pipetrace"
+	"archexplorer/internal/uarch"
+)
+
+// BranchReplay is a batch's shared branch-prediction outcome stream: one
+// mispredict bit per branch of the instruction stream, in stream order,
+// plus the predictor counters at the end of the run.
+//
+// Sharing it is sound because prediction is a pure function of the stream
+// and the predictor configuration — Predict/Recover/Train take no timing
+// inputs, and the in-order front end consults the predictor once per
+// branch in stream order regardless of back-end capacity. Every config
+// that agrees on the four predictor parameters therefore observes the
+// identical outcome sequence, and RunBatch computes it once per distinct
+// predictor config instead of once per lane. Cache state is the opposite
+// case: the shared L2 couples the I- and D-streams and store-forwarding
+// makes the D-access sequence timing-dependent, so each lane keeps its own
+// hierarchy.
+type BranchReplay struct {
+	bits                 []uint64 // mispredict bit per branch, stream order
+	branches             int
+	lookups, mispredicts uint64
+}
+
+// NewBranchReplay runs the stream through a fresh predictor and records
+// each branch's outcome. The per-branch resolution is the same
+// resolveBranch the live fetch stage uses, so replayed lanes are bit-exact
+// with per-config runs by construction.
+func NewBranchReplay(stream []isa.Inst, cfg bpred.Config) (*BranchReplay, error) {
+	p, err := bpred.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r := &BranchReplay{}
+	for i := range stream {
+		in := &stream[i]
+		if in.Class != isa.OpBranch {
+			continue
+		}
+		r.push(resolveBranch(p, in))
+	}
+	r.lookups = p.Lookups
+	r.mispredicts = p.Mispredicts
+	return r, nil
+}
+
+// Branches returns the number of branch outcomes recorded.
+func (r *BranchReplay) Branches() int { return r.branches }
+
+func (r *BranchReplay) push(mispred bool) {
+	if r.branches%64 == 0 {
+		r.bits = append(r.bits, 0)
+	}
+	if mispred {
+		r.bits[r.branches/64] |= 1 << (r.branches % 64)
+	}
+	r.branches++
+}
+
+func (r *BranchReplay) mispredicted(i int) bool {
+	return r.bits[i/64]&(1<<(i%64)) != 0
+}
+
+// BatchOptions tunes one RunBatch call.
+type BatchOptions struct {
+	// Lite elides the DEG-only annotations from every lane, exactly as
+	// RunLite does for a single config.
+	Lite bool
+
+	// Workers caps the goroutines the batch pass shards its lanes across;
+	// 0 means min(len(cfgs), GOMAXPROCS). 1 runs the whole pass inline on
+	// the calling goroutine — the configuration that isolates the pure
+	// amortization win (shared decode iteration + shared branch replay)
+	// from parallel speedup.
+	Workers int
+
+	// Gate, when non-nil, wraps each worker's CPU-bound pass — the hook
+	// callers with a global compute-slot pool (par.Slot, the evaluator's
+	// leaf gate) use to keep batch workers inside the machine-wide budget.
+	// It must invoke its argument exactly once, synchronously.
+	Gate func(func())
+
+	// Check, when non-nil, runs per lane at the lane's first step, inside
+	// the isolated region: an error (or panic) in Check fails only that
+	// lane. Tests use it to exercise per-config failure isolation; the
+	// evaluator leaves it nil.
+	Check func(cfg int) error
+}
+
+// BatchResult is one config's slot of a RunBatch call. Exactly one of
+// {Trace, Err} is meaningful: a failed lane carries Err and nil outputs,
+// and its failure never disturbs sibling lanes.
+type BatchResult struct {
+	Trace *pipetrace.Trace
+	Stats *Stats
+	Err   error
+}
+
+// RunBatch simulates every configuration over one shared instruction
+// stream in a single pass. The per-instruction work a single-config loop
+// repeats N times is paid once per batch where it is config-independent —
+// the stream iteration/decode and the branch-prediction outcome stream
+// (shared per distinct predictor config via BranchReplay) — while each
+// lane keeps the per-config state that timing feedback makes unshareable:
+// occupancy pools, event heaps, scoreboards, and the cache hierarchy.
+//
+// State is laid out config-major ("structure of arrays" at lane
+// granularity): lanes[i] bundles config i's complete pipeline state, and
+// each worker drains its shard lane-outer — one lane runs the whole
+// stream before the next starts, keeping that lane's multi-megabyte
+// pipeline state cache-hot instead of interleaving every lane's working
+// set at each instruction. Lane independence makes the order immaterial
+// to results: each lane's trace, stats, and stamps are bit-identical to a
+// dedicated Core.Run (Lite: RunLite) of its config — pinned by the
+// conformance suite's fingerprint parity — so downstream DEG analysis
+// consumes batch traces unchanged.
+//
+// Failures are isolated per lane: an invalid config, a Check error, or a
+// panic mid-pass (a poisoned lane) fails only that lane's BatchResult and
+// recycles its trace; the remaining lanes complete normally. RunBatch
+// itself errors only on inputs that invalidate the whole call (empty
+// stream, empty batch).
+func RunBatch(stream []isa.Inst, cfgs []uarch.Config, opt BatchOptions) ([]BatchResult, error) {
+	if len(stream) == 0 {
+		return nil, fmt.Errorf("ooo: empty instruction stream")
+	}
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("ooo: empty config batch")
+	}
+
+	results := make([]BatchResult, len(cfgs))
+	replays := make(map[bpred.Config]*BranchReplay, 1)
+	var live []*batchLane
+	for i, cfg := range cfgs {
+		core, err := newCore(cfg, nil)
+		if err != nil {
+			results[i].Err = err
+			continue
+		}
+		key := predConfig(cfg)
+		rep, ok := replays[key]
+		if !ok {
+			// newCore validated cfg, so the predictor config is valid and
+			// NewBranchReplay cannot fail here; the error path guards the
+			// invariant rather than any reachable input.
+			if rep, err = NewBranchReplay(stream, key); err != nil {
+				results[i].Err = err
+				continue
+			}
+			replays[key] = rep
+		}
+		core.replay = rep
+		core.lite = opt.Lite
+		tr := pipetrace.GetTrace(len(stream))
+		core.arena = &tr.Arena
+		live = append(live, &batchLane{idx: i, core: core, tr: tr})
+	}
+
+	runLanes(stream, live, opt)
+
+	for _, ln := range live {
+		r := &results[ln.idx]
+		if ln.err != nil {
+			r.Err = ln.err
+			continue
+		}
+		c := ln.core
+		c.arena = nil
+		c.finalizeStats(len(stream))
+		ln.tr.Cycles = c.stats.Cycles
+		r.Trace = ln.tr
+		r.Stats = &c.stats
+	}
+	return results, nil
+}
+
+// batchLane is one config's slot of the pass: its complete pipeline state
+// plus the trace it emits into. A failed lane has err set and its trace
+// already recycled.
+type batchLane struct {
+	idx  int // position in the cfgs/results slices
+	core *Core
+	tr   *pipetrace.Trace
+	err  error
+}
+
+// step advances this lane through one instruction — the same five-stage
+// resolution Core.run performs, appending into the lane's own trace.
+func (ln *batchLane) step(seq int, in *isa.Inst) {
+	c := ln.core
+	rec := pipetrace.NewRecord(seq, in.PC, in.Class)
+	c.fetch(in, &rec)
+	c.decode(&rec)
+	c.rename(in, &rec)
+	c.schedule(in, &rec)
+	c.commit(in, &rec)
+	ln.tr.Records = append(ln.tr.Records, rec)
+}
+
+// fail poisons the lane: records the error and recycles its trace. The
+// worker skips failed lanes for the rest of the pass.
+func (ln *batchLane) fail(err error) {
+	ln.err = err
+	ln.tr.Release()
+	ln.tr = nil
+	ln.core = nil
+}
+
+// runLanes shards lanes contiguously across workers, each draining its
+// shard lane-outer. Lanes never share mutable state (each owns its core
+// and trace; the replay and stream are read-only), so workers need no
+// synchronization beyond the final join.
+func runLanes(stream []isa.Inst, lanes []*batchLane, opt BatchOptions) {
+	if len(lanes) == 0 {
+		return
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(lanes) {
+		workers = len(lanes)
+	}
+	runShard := func(shard []*batchLane) {
+		w := &batchWorker{lanes: shard}
+		if opt.Gate != nil {
+			opt.Gate(func() { w.run(stream, opt.Check) })
+		} else {
+			w.run(stream, opt.Check)
+		}
+	}
+	if workers == 1 {
+		runShard(lanes)
+		return
+	}
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		lo := wi * len(lanes) / workers
+		hi := (wi + 1) * len(lanes) / workers
+		wg.Add(1)
+		go func(shard []*batchLane) {
+			defer wg.Done()
+			runShard(shard)
+		}(lanes[lo:hi])
+	}
+	wg.Wait()
+}
+
+// batchWorker holds one shard's pass cursors — the current lane and that
+// lane's current instruction — so a recovered panic can poison exactly the
+// lane that raised it and resume the pass where it stopped.
+type batchWorker struct {
+	lanes []*batchLane
+	li    int
+	seq   int
+}
+
+// run drives the shard to completion, re-entering the isolated region
+// after each poisoned lane. The recover loop costs nothing per step: the
+// deferred recover lives on runIsolated's frame, not inside the pass.
+func (w *batchWorker) run(stream []isa.Inst, check func(int) error) {
+	for w.li < len(w.lanes) {
+		w.runIsolated(stream, check)
+	}
+}
+
+// runIsolated drains lanes until the shard completes or a lane panics. A
+// panic poisons only the lane under the cursor — its error slot reports
+// the failure, its trace recycles — and the caller resumes with the next
+// lane; completed and sibling lanes are untouched.
+func (w *batchWorker) runIsolated(stream []isa.Inst, check func(int) error) {
+	defer func() {
+		if p := recover(); p != nil {
+			ln := w.lanes[w.li]
+			ln.fail(fmt.Errorf("ooo: batch config %d panicked at seq %d: %v", ln.idx, w.seq, p))
+			w.li++
+			w.seq = 0
+		}
+	}()
+	for w.li < len(w.lanes) {
+		ln := w.lanes[w.li]
+		if ln.err == nil {
+			if check != nil && w.seq == 0 {
+				if err := check(ln.idx); err != nil {
+					ln.fail(err)
+					w.li++
+					continue
+				}
+			}
+			for w.seq < len(stream) {
+				ln.step(w.seq, &stream[w.seq])
+				w.seq++
+			}
+		}
+		w.li++
+		w.seq = 0
+	}
+}

@@ -1,0 +1,326 @@
+package ooo
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"archexplorer/internal/isa"
+	"archexplorer/internal/uarch"
+	"archexplorer/internal/workload"
+)
+
+// batchTestConfigs is a 4-lane batch mixing shared and distinct predictor
+// front ends: baseline and tight share the predictor parameters (one
+// replay serves both), the other two differ, so the replay map holds
+// multiple entries.
+func batchTestConfigs() []uarch.Config {
+	wide := uarch.Baseline()
+	wide.Width = 6
+	wide.ROBEntries = 224
+	wide.LocalPredictor = 2048
+	wide.BTBEntries = 4096
+	narrow := uarch.Baseline()
+	narrow.Width = 2
+	narrow.GlobalPredictor = 2048
+	narrow.RASEntries = 16
+	return []uarch.Config{uarch.Baseline(), tightConfig(), wide, narrow}
+}
+
+func batchStreamFor(t *testing.T, name string) []isa.Inst {
+	t.Helper()
+	p, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := workload.CachedTrace(p, parityTraceLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stream
+}
+
+// TestBatchParityWithRun is the core batched-simulation oracle: every
+// lane's trace and stats must be bit-identical — full fingerprint, not
+// just IPC — to a dedicated Core.Run (or RunLite) of the same config on
+// the same stream, at every worker count.
+func TestBatchParityWithRun(t *testing.T) {
+	cfgs := batchTestConfigs()
+	for _, name := range parityWorkloads {
+		stream := batchStreamFor(t, name)
+		for _, lite := range []bool{false, true} {
+			// Reference fingerprints from dedicated per-config runs.
+			want := make([]uint64, len(cfgs))
+			for i, cfg := range cfgs {
+				core, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				run := core.Run
+				if lite {
+					run = core.RunLite
+				}
+				trc, stats, err := run(stream)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want[i] = Fingerprint(trc, stats)
+				trc.Release()
+			}
+			for _, workers := range []int{0, 1, 3} {
+				res, err := RunBatch(stream, cfgs, BatchOptions{Lite: lite, Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, r := range res {
+					if r.Err != nil {
+						t.Fatalf("%s lite=%v workers=%d cfg %d: %v", name, lite, workers, i, r.Err)
+					}
+					if got := Fingerprint(r.Trace, r.Stats); got != want[i] {
+						t.Errorf("%s lite=%v workers=%d cfg %d: batch fingerprint %#x != per-config run %#x",
+							name, lite, workers, i, got, want[i])
+					}
+					r.Trace.Release()
+				}
+			}
+		}
+	}
+}
+
+// TestBatchLiteMatchesRunLiteExactly pins that a Lite batch elides exactly
+// what RunLite elides: the full fingerprint of a Lite lane equals the full
+// fingerprint of a dedicated RunLite, annotations included (both empty).
+func TestBatchLiteMatchesRunLiteExactly(t *testing.T) {
+	stream := batchStreamFor(t, "458.sjeng")
+	cfg := tightConfig()
+	core, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, st, err := core.RunLite(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Fingerprint(tr, st)
+	tr.Release()
+
+	res, err := RunBatch(stream, []uarch.Config{cfg}, BatchOptions{Lite: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res[0].Trace.Release()
+	if got := Fingerprint(res[0].Trace, res[0].Stats); got != want {
+		t.Errorf("lite batch fingerprint %#x != RunLite %#x", got, want)
+	}
+}
+
+// TestBatchInvalidConfigIsolated pins per-lane failure isolation for
+// construction-time failures: an invalid config fails only its own slot.
+func TestBatchInvalidConfigIsolated(t *testing.T) {
+	stream := batchStreamFor(t, "429.mcf")
+	bad := uarch.Baseline()
+	bad.IntRF = 2 // below the architectural minimum; Validate rejects it
+	cfgs := []uarch.Config{uarch.Baseline(), bad, tightConfig()}
+	res, err := RunBatch(stream, cfgs, BatchOptions{Lite: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[1].Err == nil || res[1].Trace != nil {
+		t.Fatalf("invalid config did not fail its lane: %+v", res[1])
+	}
+	for _, i := range []int{0, 2} {
+		if res[i].Err != nil {
+			t.Fatalf("sibling lane %d failed: %v", i, res[i].Err)
+		}
+		if res[i].Stats.Committed != uint64(len(stream)) {
+			t.Fatalf("sibling lane %d committed %d != %d", i, res[i].Stats.Committed, len(stream))
+		}
+		res[i].Trace.Release()
+	}
+}
+
+// TestBatchCheckFailureIsolated pins the Check hook's isolation contract:
+// a lane whose Check errors or panics is poisoned, the rest of the batch
+// stays bit-exact with per-config runs.
+func TestBatchCheckFailureIsolated(t *testing.T) {
+	stream := batchStreamFor(t, "619.lbm_s")
+	cfgs := batchTestConfigs()
+	checkErr := errors.New("lane rejected")
+	for _, mode := range []string{"error", "panic"} {
+		for _, workers := range []int{1, 2} {
+			t.Run(fmt.Sprintf("%s/workers=%d", mode, workers), func(t *testing.T) {
+				res, err := RunBatch(stream, cfgs, BatchOptions{
+					Lite:    true,
+					Workers: workers,
+					Check: func(cfg int) error {
+						if cfg != 2 {
+							return nil
+						}
+						if mode == "panic" {
+							panic("injected lane panic")
+						}
+						return checkErr
+					},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res[2].Err == nil || res[2].Trace != nil {
+					t.Fatalf("lane 2 was not poisoned: %+v", res[2])
+				}
+				if mode == "error" && !errors.Is(res[2].Err, checkErr) {
+					t.Fatalf("lane 2 error %v does not wrap the Check error", res[2].Err)
+				}
+				for i, r := range res {
+					if i == 2 {
+						continue
+					}
+					if r.Err != nil {
+						t.Fatalf("sibling lane %d failed: %v", i, r.Err)
+					}
+					core, err := New(cfgs[i])
+					if err != nil {
+						t.Fatal(err)
+					}
+					tr, st, err := core.RunLite(stream)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got, want := Fingerprint(r.Trace, r.Stats), Fingerprint(tr, st); got != want {
+						t.Errorf("lane %d diverged after sibling poison: %#x != %#x", i, got, want)
+					}
+					tr.Release()
+					r.Trace.Release()
+				}
+			})
+		}
+	}
+}
+
+// TestBatchGate pins the Gate contract: every worker's pass runs inside
+// the gate, and gating changes nothing about the results.
+func TestBatchGate(t *testing.T) {
+	stream := batchStreamFor(t, "453.povray")
+	cfgs := batchTestConfigs()
+	var calls atomic.Int64
+	res, err := RunBatch(stream, cfgs, BatchOptions{
+		Lite:    true,
+		Workers: 2,
+		Gate: func(fn func()) {
+			calls.Add(1)
+			fn()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("gate wrapped %d workers, want 2", got)
+	}
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("lane %d: %v", i, r.Err)
+		}
+		r.Trace.Release()
+	}
+}
+
+// TestBatchInputValidation pins the whole-call error cases.
+func TestBatchInputValidation(t *testing.T) {
+	stream := batchStreamFor(t, "429.mcf")
+	if _, err := RunBatch(nil, []uarch.Config{uarch.Baseline()}, BatchOptions{}); err == nil {
+		t.Error("empty stream accepted")
+	}
+	if _, err := RunBatch(stream, nil, BatchOptions{}); err == nil {
+		t.Error("empty batch accepted")
+	}
+}
+
+// TestBatchNoTraceAliasing extends the Retain/Release contract tests to
+// batch mode: the traces a batch returns must be pairwise distinct objects
+// with pairwise distinct record storage, and recycling them between batch
+// rounds must not let one lane's storage surface in another lane's result
+// mid-run. (The double-Release pin that guards the underlying bug class
+// lives with the pool: pipetrace's TestReleaseBeyondZeroPanics.)
+func TestBatchNoTraceAliasing(t *testing.T) {
+	stream := batchStreamFor(t, "458.sjeng")
+	cfgs := batchTestConfigs()
+	var want []uint64
+	for round := 0; round < 3; round++ {
+		res, err := RunBatch(stream, cfgs, BatchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, a := range res {
+			if a.Err != nil {
+				t.Fatal(a.Err)
+			}
+			for j := i + 1; j < len(res); j++ {
+				b := res[j]
+				if a.Trace == b.Trace {
+					t.Fatalf("round %d: lanes %d and %d share a *Trace", round, i, j)
+				}
+				if &a.Trace.Records[0] == &b.Trace.Records[0] {
+					t.Fatalf("round %d: lanes %d and %d share record storage", round, i, j)
+				}
+			}
+		}
+		// Fingerprints must be stable across rounds even though every round
+		// after the first runs entirely on pool-recycled storage.
+		for i, r := range res {
+			got := Fingerprint(r.Trace, r.Stats)
+			if round == 0 {
+				want = append(want, got)
+			} else if got != want[i] {
+				t.Fatalf("round %d lane %d: fingerprint %#x != first round %#x (recycled storage leaked state)",
+					round, i, got, want[i])
+			}
+		}
+		for _, r := range res {
+			r.Trace.Release()
+		}
+	}
+}
+
+// TestBranchReplayMatchesLivePredictor pins the replay's counters against
+// a live predictor run of the same stream.
+func TestBranchReplayMatchesLivePredictor(t *testing.T) {
+	stream := batchStreamFor(t, "429.mcf")
+	cfg := uarch.Baseline()
+	rep, err := NewBranchReplay(stream, predConfig(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, st, err := core.RunLite(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Release()
+	if uint64(rep.Branches()) != st.BranchLookups || rep.lookups != st.BranchLookups {
+		t.Errorf("replay branches %d / lookups %d, live lookups %d", rep.Branches(), rep.lookups, st.BranchLookups)
+	}
+	if rep.mispredicts != st.Mispredicts {
+		t.Errorf("replay mispredicts %d, live %d", rep.mispredicts, st.Mispredicts)
+	}
+	// The per-branch bits must match the live run's per-record outcomes.
+	bi := 0
+	for i := range tr.Records {
+		r := &tr.Records[i]
+		if r.Class != isa.OpBranch {
+			continue
+		}
+		if rep.mispredicted(bi) != r.Mispredicted {
+			t.Fatalf("branch %d (seq %d): replay says %v, live run says %v",
+				bi, r.Seq, rep.mispredicted(bi), r.Mispredicted)
+		}
+		bi++
+	}
+	if bi != rep.Branches() {
+		t.Fatalf("consumed %d replay bits, replay recorded %d", bi, rep.Branches())
+	}
+}

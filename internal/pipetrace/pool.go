@@ -86,16 +86,28 @@ func (t *Trace) Release() {
 		return
 	}
 	if t.pooled {
-		if atomic.AddInt32(&t.refs, -1) > 0 {
+		switch refs := atomic.AddInt32(&t.refs, -1); {
+		case refs > 0:
 			return
+		case refs < 0:
+			// A Release beyond the last reference used to fall through and
+			// Put the trace a second time, so two later GetTrace calls could
+			// hand out the SAME *Trace to two concurrent simulations — in
+			// batch mode, one lane silently writing another lane's records.
+			// The refcount contract is load-bearing; violating it must be
+			// loud, not a latent cross-config aliasing bug. (pooled stays
+			// set across the pool round-trip exactly so this over-release
+			// lands here instead of silently resetting someone's trace.)
+			panic("pipetrace: Trace released more times than retained")
 		}
+		t.Records = t.Records[:0]
+		t.Cycles = 0
+		t.Arena.reset()
+		poolPuts.Add(1)
+		tracePool.Put(t)
+		return
 	}
 	t.Records = t.Records[:0]
 	t.Cycles = 0
 	t.Arena.reset()
-	if t.pooled {
-		t.pooled = false
-		poolPuts.Add(1)
-		tracePool.Put(t)
-	}
 }

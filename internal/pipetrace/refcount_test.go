@@ -75,3 +75,22 @@ func TestChunkReleaseRecycles(t *testing.T) {
 	var nilChunk *Chunk
 	nilChunk.Release()
 }
+
+// TestReleaseBeyondZeroPanics pins the batch-mode aliasing guard: dropping
+// more references than were ever taken used to drive the refcount negative
+// and fall through to a second reset+Put, after which two later GetTrace
+// calls could hand the SAME *Trace to two concurrent simulations (one
+// batch lane scribbling over another's records). The contract violation
+// must be loud instead.
+func TestReleaseBeyondZeroPanics(t *testing.T) {
+	tr := GetTrace(4)
+	tr.Retain()
+	tr.Release() // holder drops (refs 2 -> 1)
+	tr.Release() // owner drops: final release, trace recycles
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release beyond the last reference did not panic")
+		}
+	}()
+	tr.Release() // stale extra release: must panic, not double-Put
+}
