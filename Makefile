@@ -21,7 +21,7 @@ COVER_MIN_SELFDEG := 80
 COVER_MIN_OOO := 80
 COVER_MIN_CONFORMANCE := 90
 
-.PHONY: build vet test race cover fuzz-seeds bench bench-deg bench-sim bench-sim-smoke bench-pipeline bench-pipeline-smoke bench-spans bench-batch bench-batch-smoke bench-all profile-sim ci
+.PHONY: build vet test race cover fuzz-seeds bench bench-deg bench-sim bench-sim-smoke bench-pipeline bench-pipeline-smoke bench-spans bench-batch bench-batch-smoke bench-all bench-all-smoke profile-sim ci
 
 build:
 	$(GO) build ./...
@@ -50,12 +50,14 @@ cover:
 	check ooo $(COVER_MIN_OOO); \
 	check conformance $(COVER_MIN_CONFORMANCE)
 
-# A short randomized pass over the campaign-file reader and the
-# four-engine conformance check, on top of the checked-in seed corpora
-# that `make test` already replays.
+# A short randomized pass over the campaign-file reader, the four-engine
+# conformance check, and the capacity-pool/heap differential (the
+# calendar-queue pool must pop bit-identically to container/heap), on top
+# of the checked-in seed corpora that `make test` already replays.
 fuzz-seeds:
 	$(GO) test -fuzz=FuzzRead -fuzztime=10s ./internal/persist/
 	$(GO) test -fuzz=FuzzConformance -fuzztime=10s ./internal/conformance/
+	$(GO) test -fuzz=FuzzCapPoolParity -fuzztime=10s ./internal/ooo/
 
 # One regeneration per experiment plus the evaluator fan-out comparison.
 bench:
@@ -126,6 +128,10 @@ bench-batch-smoke:
 # Every benchmark family, gated against the committed baselines: fails if
 # simulator or pipeline throughput lands more than 10% below what
 # BENCH_sim.json / BENCH_pipeline.json record for the reference host.
+# The simulator gates are the calendar-queue numbers (the current
+# baseline) PLUS a speedup floor: SimFull must also hold >=1.2x the
+# pre-calendar-queue after_full record, so the pool rewrite's win cannot
+# silently erode back even across re-baselines of the calqueue section.
 # Re-baseline (re-run bench-sim / bench-pipeline and update the JSONs)
 # when a deliberate change moves the numbers. The span-overhead gate rides
 # along: span capture must cost <2% of same-run pipeline throughput.
@@ -133,12 +139,27 @@ bench-all:
 	$(GO) build -o benchgate ./cmd/benchgate
 	$(GO) test -bench='BenchmarkSim(Full|Lite)$$|BenchmarkDEG|BenchmarkPipeline(Buffered|Stream)$$' -benchmem -run XXX -count 1 . | \
 	  ./benchgate -tolerance 0.10 \
-	    -expect 'BenchmarkSimFull=BENCH_sim.json:after_full.inst_per_sec' \
-	    -expect 'BenchmarkSimLite=BENCH_sim.json:after_lite.inst_per_sec' \
+	    -expect 'BenchmarkSimFull=BENCH_sim.json:calqueue.full.inst_per_sec' \
+	    -expect 'BenchmarkSimFull=1.2*BENCH_sim.json:after_full.inst_per_sec' \
+	    -expect 'BenchmarkSimLite=BENCH_sim.json:calqueue.lite.inst_per_sec' \
 	    -expect 'BenchmarkPipelineBuffered=BENCH_pipeline.json:before.inst_per_sec' \
 	    -expect 'BenchmarkPipelineStream=BENCH_pipeline.json:after.inst_per_sec'
 	$(MAKE) bench-spans
 	$(MAKE) bench-batch
+
+# Single-iteration pass of the bench-all simulator+pipeline set through
+# benchgate with a near-zero floor: verifies in CI that every -expect
+# mapping still resolves (benchmark names, JSON files, dotted paths) on
+# any host, without paying for — or trusting — a real measurement run.
+bench-all-smoke:
+	$(GO) build -o benchgate ./cmd/benchgate
+	$(GO) test -bench='BenchmarkSim(Full|Lite)$$|BenchmarkDEG|BenchmarkPipeline(Buffered|Stream)$$' -benchtime=1x -run XXX . | \
+	  ./benchgate -tolerance 0.95 \
+	    -expect 'BenchmarkSimFull=BENCH_sim.json:calqueue.full.inst_per_sec' \
+	    -expect 'BenchmarkSimFull=1.2*BENCH_sim.json:after_full.inst_per_sec' \
+	    -expect 'BenchmarkSimLite=BENCH_sim.json:calqueue.lite.inst_per_sec' \
+	    -expect 'BenchmarkPipelineBuffered=BENCH_pipeline.json:before.inst_per_sec' \
+	    -expect 'BenchmarkPipelineStream=BENCH_pipeline.json:after.inst_per_sec'
 
 # CPU profile of the full-fidelity simulator benchmark. Inspect with
 #   go tool pprof -top sim.pprof
@@ -149,5 +170,6 @@ profile-sim:
 
 # The alloc gate on the streaming hot path (internal/deg
 # TestStreamAllocsBounded) runs inside `cover`'s non-race test pass; the
-# bench smokes keep both bench harnesses compiling and running.
-ci: vet race cover fuzz-seeds bench-sim-smoke bench-pipeline-smoke bench-batch-smoke
+# bench smokes keep the bench harnesses AND the bench-all gate wiring
+# (expect names, baseline JSON paths) compiling and resolving.
+ci: vet race cover fuzz-seeds bench-all-smoke bench-batch-smoke

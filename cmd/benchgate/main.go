@@ -41,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -138,6 +139,12 @@ func resolveBaseline(ref string, measured map[string]float64) (float64, error) {
 		f, err := strconv.ParseFloat(head, 64)
 		if err != nil {
 			return 0, fmt.Errorf("malformed multiplier in baseline ref %q: %v", ref, err)
+		}
+		// ParseFloat accepts "NaN" and "+Inf", and `NaN <= 0` is false, so
+		// a plain non-positive check would wave both through — a NaN scale
+		// makes every floor comparison false and the gate vacuously green.
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return 0, fmt.Errorf("non-finite multiplier %v in baseline ref %q", f, ref)
 		}
 		if f <= 0 {
 			return 0, fmt.Errorf("non-positive multiplier in baseline ref %q", ref)

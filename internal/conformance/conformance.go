@@ -279,6 +279,39 @@ func CapacityParams() []uarch.Param {
 	return append(StrictCapacityParams(), FUParams()...)
 }
 
+// EdgeConfigs returns the capacity-floor corners of the standard space:
+// the baseline with every window capacity (and the fetch queue) floored at
+// once — at both width extremes — plus the baseline with each capacity
+// floored individually. Random corpus draws essentially never land on
+// these corners, yet they are exactly where the capacity-pool free lists
+// saturate every cycle and where an off-by-one in pool bookkeeping or
+// release tie order would first show. Only validating configs are
+// returned, so the list tracks the space's own floors.
+func EdgeConfigs() []uarch.Config {
+	space := uarch.StandardSpace()
+	base := space.Nearest(uarch.Baseline())
+	starved := append(CapacityParams(), uarch.ParamFetchQueue)
+	var out []uarch.Config
+	for _, w := range []int{0, space.Levels(uarch.ParamWidth) - 1} {
+		pt := base
+		pt[uarch.ParamWidth] = w
+		for _, p := range starved {
+			pt[p] = 0
+		}
+		if c := space.Decode(pt); c.Validate() == nil {
+			out = append(out, c)
+		}
+	}
+	for _, p := range starved {
+		pt := base
+		pt[p] = 0
+		if c := space.Decode(pt); c.Validate() == nil {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
 // FUTolerance is the allowed relative IPC drop when growing one FU count:
 // an order of magnitude above the worst second-order regression observed,
 // far below what any real scheduling or accounting bug costs.

@@ -63,6 +63,29 @@ func TestCorpus(t *testing.T) {
 	}
 }
 
+// TestCorpusEdges pins the capacity-floor corners of the space: configs
+// with every pool starved at once (at both width extremes) and with each
+// pool starved individually, checked across all four engines with the DEG
+// oracle on. Random draws never land here, but these are the points where
+// the pool free lists saturate every cycle — the first place a pool
+// bookkeeping or release-tie-order bug would surface.
+func TestCorpusEdges(t *testing.T) {
+	cfgs := EdgeConfigs()
+	if len(cfgs) < 10 {
+		t.Fatalf("EdgeConfigs returned only %d configs; the space floors no longer validate?", len(cfgs))
+	}
+	names := suiteNames
+	if testing.Short() {
+		names = names[:1]
+	}
+	for _, name := range names {
+		st := stream(t, name, 1000)
+		if err := Check(st, name, cfgs, true); err != nil {
+			t.Fatalf("engines diverged at the capacity floor on %s: %v", name, err)
+		}
+	}
+}
+
 // reportShrunk minimises the failing round to a single-config, reduced
 // counterexample and fails with both the original and shrunk reports.
 func reportShrunk(t *testing.T, space *uarch.Space, st []isa.Inst, name string, pts []uarch.Point, withDEG bool, err error) {

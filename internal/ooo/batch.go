@@ -197,13 +197,13 @@ type batchLane struct {
 // resolution Core.run performs, appending into the lane's own trace.
 func (ln *batchLane) step(seq int, in *isa.Inst) {
 	c := ln.core
-	rec := pipetrace.NewRecord(seq, in.PC, in.Class)
-	c.fetch(in, &rec)
-	c.decode(&rec)
-	c.rename(in, &rec)
-	c.schedule(in, &rec)
-	c.commit(in, &rec)
-	ln.tr.Records = append(ln.tr.Records, rec)
+	ln.tr.Records = pipetrace.AppendReset(ln.tr.Records, seq, in.PC, in.Class)
+	rec := &ln.tr.Records[len(ln.tr.Records)-1]
+	c.fetch(in, rec)
+	c.decode(rec)
+	c.rename(in, rec)
+	c.schedule(in, rec)
+	c.commit(in, rec)
 }
 
 // fail poisons the lane: records the error and recycles its trace. The

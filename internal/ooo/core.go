@@ -116,9 +116,12 @@ type Core struct {
 	fetchBW, decodeBW, renameBW, dispatchBW, commitBW *inorderBW
 	issueBW                                           *bwRing
 
-	// Capacity pools.
-	rob, iq, lq, sq, fq *capPool
-	intRF, fpRF         *capPool
+	// Capacity pools. The fetch queue is the one pool with monotone
+	// releases and an unobserved pop owner, so it gets the O(1) calendar
+	// pool; the rest must replay heap order exactly (see capPool).
+	rob, iq, lq, sq *capPool
+	intRF, fpRF     *capPool
+	fq              *fifoPool
 
 	// Execution units, indexed densely by uarch.Resource (only the four FU
 	// classes are populated; a map here would hash on every issue).
@@ -131,7 +134,7 @@ type Core struct {
 	intProd, fpProd   [isa.NumIntArchRegs]int
 
 	// In-flight store tracking for forwarding: address -> producing store.
-	storeBuf map[uint64]storeEntry
+	storeBuf *storeTable
 
 	lastF, lastDC, lastR, lastDP, lastC int64
 
@@ -208,16 +211,16 @@ func newCore(cfg uarch.Config, pred *bpred.Predictor) (*Core, error) {
 		renameBW:           newInorderBW(cfg.Width),
 		dispatchBW:         newInorderBW(cfg.Width),
 		commitBW:           newInorderBW(cfg.Width),
-		issueBW:            newBWRing(cfg.Width, 17),
+		issueBW:            newBWRing(cfg.Width, issueRingSlots(cfg)),
 		rob:                newCapPool(cfg.ROBEntries),
 		iq:                 newCapPool(cfg.IQEntries),
 		lq:                 newCapPool(cfg.LQEntries),
 		sq:                 newCapPool(cfg.SQEntries),
-		fq:                 newCapPool(cfg.FetchQueueUops),
+		fq:                 newFIFOPool(cfg.FetchQueueUops),
 		intRF:              newCapPool(cfg.IntRF - isa.NumIntArchRegs),
 		fpRF:               newCapPool(cfg.FpRF - isa.NumFpArchRegs),
 		ports:              newUnitPool(cfg.RdWrPorts),
-		storeBuf:           make(map[uint64]storeEntry, 1024),
+		storeBuf:           newStoreTable(),
 		refillFrom:         -1,
 		pendingRedirectSeq: -1,
 		groupDrain:         [2]int64{-1, -1},
@@ -232,6 +235,27 @@ func newCore(cfg uarch.Config, pred *bpred.Predictor) (*Core, error) {
 		c.fpProd[i] = -1
 	}
 	return c, nil
+}
+
+// issueRingSlots sizes the issue bandwidth ring from the config's actual
+// reorder window instead of a fixed constant. Live issue cycles can spread
+// over at most the in-flight window (ROB entries plus fetch-queue
+// buffering) times the worst per-instruction wait hop; sizing for the
+// typical hop (an L2 round trip, not a full DRAM miss chain) keeps the
+// per-run clear cost small, and the rare config/workload that exceeds the
+// envelope is caught by the ring's collision check and repaired by an
+// exact doubling instead of silently corrupting bandwidth counts.
+func issueRingSlots(cfg uarch.Config) int {
+	window := cfg.ROBEntries + cfg.FetchQueueUops + 2
+	slots := window * 64
+	const minSlots, maxSlots = 1 << 12, 1 << 17
+	if slots < minSlots {
+		return minSlots
+	}
+	if slots > maxSlots {
+		return maxSlots
+	}
+	return slots
 }
 
 // Run simulates the dynamic instruction stream and returns the pipeline
@@ -268,15 +292,14 @@ func (c *Core) run(stream []isa.Inst, lite bool) (*pipetrace.Trace, *Stats, erro
 
 	for seq := range stream {
 		in := &stream[seq]
-		rec := pipetrace.NewRecord(seq, in.PC, in.Class)
+		tr.Records = pipetrace.AppendReset(tr.Records, seq, in.PC, in.Class)
+		rec := &tr.Records[seq]
 
-		c.fetch(in, &rec)
-		c.decode(&rec)
-		c.rename(in, &rec)
-		c.schedule(in, &rec)
-		c.commit(in, &rec)
-
-		tr.Records = append(tr.Records, rec)
+		c.fetch(in, rec)
+		c.decode(rec)
+		c.rename(in, rec)
+		c.schedule(in, rec)
+		c.commit(in, rec)
 	}
 	c.arena = nil
 	c.finalizeStats(len(stream))
@@ -354,7 +377,7 @@ func (c *Core) fetch(in *isa.Inst, rec *pipetrace.Record) {
 	rec.ICacheLat = c.groupLat
 
 	// F: copy into the fetch queue — fetch width and FQ capacity apply.
-	fqAt, _ := c.fq.alloc()
+	fqAt := c.fq.alloc()
 	fAt := max(c.groupF2, fqAt, c.lastF)
 	f := c.fetchBW.book(fAt)
 	rec.Stamp[pipetrace.SF] = f
@@ -398,7 +421,7 @@ func (c *Core) decode(rec *pipetrace.Record) {
 	dc := c.decodeBW.book(max(rec.Stamp[pipetrace.SF]+1, c.lastDC))
 	rec.Stamp[pipetrace.SDC] = dc
 	c.lastDC = dc
-	c.fq.free(dc+1, rec.Seq)
+	c.fq.free(dc + 1)
 }
 
 // rename resolves R and DP: it performs the scoreboard checks on every
@@ -408,48 +431,46 @@ func (c *Core) rename(in *isa.Inst, rec *pipetrace.Record) {
 	base := max(rec.Stamp[pipetrace.SDC]+1, c.lastR)
 	ready := base
 
-	// The structures this instruction allocates, gathered into a fixed
-	// stack buffer (at most ROB + IQ + LQ/SQ + one rename file).
-	type want struct {
-		pool *capPool
-		res  uarch.Resource
+	// Allocate every structure this instruction needs — ROB, IQ, LQ or SQ,
+	// and a rename file when it has a destination — directly, one call per
+	// pool. Deps are staged in a stack buffer and interned into the trace
+	// arena in one shot — no per-record slice allocation.
+	var depBuf [4]pipetrace.ResourceDep
+	deps := 0
+	take := func(t int64, owner int, res uarch.Resource) {
+		if t > base && owner >= 0 {
+			if !c.lite {
+				depBuf[deps] = pipetrace.ResourceDep{Resource: res, Producer: owner}
+				deps++
+			}
+			c.stats.RenameStalls[res]++
+		}
+		ready = max(ready, t)
 	}
-	var wants [4]want
-	wants[0] = want{c.rob, uarch.ResROB}
-	wants[1] = want{c.iq, uarch.ResIQ}
-	n := 2
+	{
+		t, owner := c.rob.alloc()
+		take(t, owner, uarch.ResROB)
+	}
+	{
+		t, owner := c.iq.alloc()
+		take(t, owner, uarch.ResIQ)
+	}
 	switch in.Class {
 	case isa.OpLoad:
-		wants[n] = want{c.lq, uarch.ResLQ}
-		n++
+		t, owner := c.lq.alloc()
+		take(t, owner, uarch.ResLQ)
 	case isa.OpStore:
-		wants[n] = want{c.sq, uarch.ResSQ}
-		n++
+		t, owner := c.sq.alloc()
+		take(t, owner, uarch.ResSQ)
 	}
 	if in.HasDest() {
 		if in.Dest.Float {
-			wants[n] = want{c.fpRF, uarch.ResFpRF}
+			t, owner := c.fpRF.alloc()
+			take(t, owner, uarch.ResFpRF)
 		} else {
-			wants[n] = want{c.intRF, uarch.ResIntRF}
+			t, owner := c.intRF.alloc()
+			take(t, owner, uarch.ResIntRF)
 		}
-		n++
-	}
-
-	// Deps are staged in a stack buffer and interned into the trace arena
-	// in one shot — no per-record slice allocation.
-	var depBuf [4]pipetrace.ResourceDep
-	deps := 0
-	for i := 0; i < n; i++ {
-		w := wants[i]
-		t, owner := w.pool.alloc()
-		if t > base && owner >= 0 {
-			if !c.lite {
-				depBuf[deps] = pipetrace.ResourceDep{Resource: w.res, Producer: owner}
-				deps++
-			}
-			c.stats.RenameStalls[w.res]++
-		}
-		ready = max(ready, t)
 	}
 	if deps > 0 {
 		rec.ResourceDeps = c.arena.InternDeps(depBuf[:deps])
@@ -546,7 +567,7 @@ func (c *Core) schedule(in *isa.Inst, rec *pipetrace.Record) {
 		m := iss + 1 // address generation
 		rec.Stamp[pipetrace.SM] = m
 		addr := in.Addr &^ 7
-		if se, ok := c.storeBuf[addr]; ok && se.commit > m {
+		if se, ok := c.storeBuf.get(addr); ok && se.commit > m {
 			// Store-to-load forwarding from the SQ.
 			c.stats.StoreForwards++
 			done = max(m, se.pReady) + 1
@@ -613,10 +634,10 @@ func (c *Core) commit(in *isa.Inst, rec *pipetrace.Record) {
 		drain := cc + 1 // write buffer has its own D$ write port
 		lat := int64(c.hier.DataLatency(in.Addr))
 		c.sq.free(drain+lat, rec.Seq)
-		c.storeBuf[in.Addr&^7] = storeEntry{
+		c.storeBuf.put(in.Addr&^7, storeEntry{
 			seq:    rec.Seq,
 			pReady: rec.Stamp[pipetrace.SP],
 			commit: drain + lat,
-		}
+		})
 	}
 }

@@ -19,89 +19,190 @@
 // understates misprediction cost but preserves its critical-path structure.
 package ooo
 
-// freeEvent is one resource entry becoming available.
+import "fmt"
+
+// freeEvent is one resource entry becoming available. The hot capPool
+// stores times and owners in parallel arrays; this struct form is the
+// interchange type of the reference-heap shadow used by the differential
+// tests and FuzzCapPoolParity.
 type freeEvent struct {
 	time  int64 // cycle at which the entry is usable again
 	owner int   // sequence number of the releasing instruction
-}
-
-// eventHeap is a binary min-heap over freeEvent (ordered by time), operated
-// directly on the slice. The sift routines transcribe container/heap's
-// up/down exactly — including tie handling between equal times — so the
-// entry popped for any sequence of operations is identical to the previous
-// interface-based implementation, keeping producer annotations bit-exact
-// while eliminating the per-operation interface{} boxing allocation.
-type eventHeap []freeEvent
-
-func (h eventHeap) up(j int) {
-	for {
-		i := (j - 1) / 2 // parent
-		if i == j || !(h[j].time < h[i].time) {
-			break
-		}
-		h[i], h[j] = h[j], h[i]
-		j = i
-	}
-}
-
-func (h eventHeap) down(i0, n int) {
-	i := i0
-	for {
-		j1 := 2*i + 1
-		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
-			break
-		}
-		j := j1 // left child
-		if j2 := j1 + 1; j2 < n && h[j2].time < h[j1].time {
-			j = j2 // = 2*i + 2, right child
-		}
-		if !(h[j].time < h[i].time) {
-			break
-		}
-		h[i], h[j] = h[j], h[i]
-		i = j
-	}
 }
 
 // capPool models a capacity-constrained structure (ROB, IQ, LQ, SQ, rename
 // register pools) whose entries are allocated in program order and freed at
 // arbitrary times. Allocation takes the earliest-free entry; if the pool is
 // not yet full the allocation is unconstrained.
+//
+// The pool IS a binary min-heap over time — and has to be. The obvious
+// faster structure, a calendar/bucket queue popping same-time events in a
+// value-defined order (FIFO, or lowest owner first), is observably wrong:
+// which same-time entry pops is structure-dependent in container/heap, the
+// popped owner feeds the producer annotations whenever the pool is the
+// stall reason, and on the parity corpus ~30% of those stall-visible pops
+// disagree between heap order and any per-bucket value order (measured;
+// see DESIGN.md §15). So the layout evolution of the seed's container/heap
+// is transcribed exactly, and the speedup is taken inside the
+// transcription instead: times and owners live in parallel arrays so the
+// sift's compare chain walks a dense 8-byte lane, and both sifts carry the
+// moving element through a hole (one store per level) instead of swapping
+// (four 16-byte moves per level). Equivalence is pinned three ways: the
+// inductive argument in DESIGN.md §15, the differential fuzzer
+// (FuzzCapPoolParity) against a live container/heap shadow, and the seed
+// fingerprints.
 type capPool struct {
 	capacity int
-	h        eventHeap
+	times    []int64 // heap-ordered release cycles
+	owners   []int   // owners[i] released the entry freeing at times[i]
 }
 
 func newCapPool(capacity int) *capPool {
-	return &capPool{capacity: capacity, h: make(eventHeap, 0, capacity)}
+	return &capPool{
+		capacity: capacity,
+		times:    make([]int64, 0, capacity),
+		owners:   make([]int, 0, capacity),
+	}
 }
 
 // alloc reserves one entry and returns the earliest cycle the entry is
 // available plus the instruction that released it (-1 when unconstrained).
 // The caller must later pass the entry's own release to free.
 func (p *capPool) alloc() (int64, int) {
-	if len(p.h) < p.capacity {
+	n := len(p.times)
+	if n < p.capacity {
 		return 0, -1
 	}
-	h := p.h
-	n := len(h) - 1
-	h[0], h[n] = h[n], h[0]
-	h.down(0, n)
-	ev := h[n]
-	p.h = h[:n]
-	return ev.time, ev.owner
+	rt, ro := p.times[0], p.owners[0]
+	n--
+	// Reslice to the post-pop length before sifting: every index below is
+	// then provably < len, so the sift loop runs without bounds checks.
+	t, o := p.times[:n], p.owners[:n]
+	lt, lo := p.times[n], p.owners[n]
+	p.times, p.owners = t, o
+	if n == 0 {
+		return rt, ro
+	}
+	// Sift the displaced last element down from the root. Same child
+	// choice as container/heap's down (left child on equal times) and same
+	// strict-less stop condition, so the resulting array layout is
+	// identical; only the data movement differs — the element rides in
+	// registers and path entries shift up through the hole, instead of
+	// four 16-byte swap moves per level.
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j1 := j + 1; j1 < n && t[j1] < t[j] {
+			j = j1
+		}
+		if t[j] >= lt {
+			break
+		}
+		t[i], o[i] = t[j], o[j]
+		i = j
+	}
+	t[i], o[i] = lt, lo
+	return rt, ro
 }
 
-// free registers that owner releases one entry at time t.
-func (p *capPool) free(t int64, owner int) {
-	p.h = append(p.h, freeEvent{time: t, owner: owner})
-	p.h.up(len(p.h) - 1)
+// free registers that owner releases one entry at time tm.
+func (p *capPool) free(tm int64, owner int) {
+	t := append(p.times, tm)
+	o := append(p.owners, owner)
+	// Sift up through the hole: strict-less against the parent, exactly
+	// container/heap's up.
+	j := len(t) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if t[i] <= tm {
+			break
+		}
+		t[j], o[j] = t[i], o[i]
+		j = i
+	}
+	t[j], o[j] = tm, owner
+	p.times, p.owners = t, o
+}
+
+// fifoPool is the calendar-queue capacity pool for structures whose two
+// extra invariants make the heap unnecessary: release times arrive in
+// non-decreasing order (the releasing stage is in-order), and the popped
+// owner is never observed by any caller. Under monotone insertion the
+// multiset minimum is simply the oldest entry, so alloc reads a ring
+// cursor — O(1), no sift — and stays bit-exact with the heap on the only
+// field it exposes, the release time. The fetch queue qualifies: decode
+// frees it at the in-order DC+1 cycle, and fetch discards the owner (fetch
+// stalls are attributed through the F stamps themselves, not through a
+// pool annotation).
+//
+// Both invariants are enforced, not assumed: free panics on a
+// non-monotone release (which would silently un-sort the ring), and alloc
+// does not return an owner at all, so a future caller that needs one
+// cannot compile against this type.
+type fifoPool struct {
+	times    []int64 // power-of-two ring of release cycles, oldest at head
+	mask     int
+	head     int
+	n        int
+	capacity int
+	last     int64 // newest release accepted, for the monotone check
+}
+
+func newFIFOPool(capacity int) *fifoPool {
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	return &fifoPool{times: make([]int64, size), mask: size - 1, capacity: capacity}
+}
+
+// alloc reserves one entry and returns the earliest cycle it is available
+// (0 when the pool is not yet full, i.e. unconstrained).
+func (p *fifoPool) alloc() int64 {
+	if p.n < p.capacity {
+		return 0
+	}
+	t := p.times[p.head]
+	p.head = (p.head + 1) & p.mask
+	p.n--
+	return t
+}
+
+// free registers one entry release at time t. Releases must be
+// non-decreasing in t — that is what lets alloc pop a cursor instead of
+// sifting a heap — and the pool fails loudly if the contract breaks.
+func (p *fifoPool) free(t int64) {
+	if t < p.last {
+		panic(fmt.Sprintf("ooo: fifoPool release out of order: %d after %d (in-order release contract broken)", t, p.last))
+	}
+	if p.n > p.mask {
+		panic(fmt.Sprintf("ooo: fifoPool overflow: %d live entries exceed ring for capacity %d", p.n+1, p.capacity))
+	}
+	p.last = t
+	p.times[(p.head+p.n)&p.mask] = t
+	p.n++
 }
 
 // unitPool models a small bank of execution units (ALUs, dividers, cache
 // ports). acquire picks the earliest-free unit, returns when it is free and
 // who used it last, and occupies it for occ cycles starting no earlier than
 // at.
+//
+// Contract (pinned by TestUnitPoolTieBreak / TestUnitPoolAcquireAdjust and
+// by the seed fingerprints):
+//
+//   - Tie-break: among equally-early units the LOWEST index wins (the scan
+//     keeps the first minimum it sees).
+//   - The returned prev is the unit's last occupant at the REQUESTED
+//     start: the wait the scheduler observed when it picked the unit. If
+//     issue-bandwidth limits later delay the actual start and the caller
+//     rebooks via adjust, prev is deliberately not re-derived — the DEG
+//     edge blames the occupant that made the instruction wait at selection
+//     time, which is the seed's annotation semantics, even if that
+//     occupant's window has drained by the adjusted start.
 type unitPool struct {
 	nextFree []int64
 	lastUser []int
@@ -141,27 +242,51 @@ func (u *unitPool) acquire(at int64, occ int64, user int) (start int64, unit, pr
 }
 
 // adjust moves a just-acquired unit's busy window to the actual start time.
+// It does not touch lastUser: the unit still belongs to the same user, and
+// that user's contention annotation was fixed at acquire time (see the
+// type comment).
 func (u *unitPool) adjust(unit int, start, occ int64) {
 	u.nextFree[unit] = start + occ
 }
 
 // bwRing tracks per-cycle bandwidth for events that are not monotone in
-// time (issue). Slots are addressed by cycle modulo the ring size; the
-// in-flight window of the core is far smaller than the ring, so collisions
-// cannot occur.
+// time (issue). Slots are addressed by cycle modulo the ring size with
+// lazy reset: a slot whose recorded cycle is older than the cycle being
+// booked belongs to a drained part of the window and is reclaimed.
+//
+// That reclamation is only sound while every live booking cycle fits
+// inside one ring span. The ring is therefore sized from the config's
+// actual reorder window (see issueRingSlots in core.go) rather than a
+// fixed constant, and book checks the unsafe direction explicitly:
+// finding a slot that holds a NEWER cycle than the one being booked means
+// two live cycles collided and the older one's counts were already
+// discarded. Rather than silently corrupting issue-bandwidth accounting,
+// the ring rebuilds itself at twice the size — an exact, lossless
+// migration, since remapping into a larger power-of-two ring keeps
+// distinct cycles distinct — and a runaway guard fails loudly if growth
+// ever exceeds the hard cap.
 type bwRing struct {
 	cycle []int64
-	used  []int
-	width int
+	used  []int32
+	width int32
 	mask  int64
+	grown int // growth events, surfaced to tests
 }
 
-func newBWRing(width int, logSize uint) *bwRing {
-	size := int64(1) << logSize
+// maxBWRingSlots is the runaway guard: needing growth beyond this means
+// the reorder-window bound reasoning is broken, not that the config is
+// big.
+const maxBWRingSlots = 1 << 22
+
+func newBWRing(width int, slots int) *bwRing {
+	size := int64(1)
+	for size < int64(slots) {
+		size <<= 1
+	}
 	return &bwRing{
 		cycle: make([]int64, size),
-		used:  make([]int, size),
-		width: width,
+		used:  make([]int32, size),
+		width: int32(width),
 		mask:  size - 1,
 	}
 }
@@ -170,7 +295,16 @@ func newBWRing(width int, logSize uint) *bwRing {
 func (r *bwRing) book(t int64) int64 {
 	for {
 		slot := t & r.mask
-		if r.cycle[slot] != t {
+		c := r.cycle[slot]
+		if c != t {
+			if c > t {
+				// Collision with a live newer cycle: reclaiming this slot
+				// would lose its counts. Grow and retry — the booking
+				// being attempted has consumed nothing yet, so the
+				// migration is exact.
+				r.grow()
+				continue
+			}
 			r.cycle[slot] = t
 			r.used[slot] = 0
 		}
@@ -180,6 +314,30 @@ func (r *bwRing) book(t int64) int64 {
 		}
 		t++
 	}
+}
+
+// grow doubles the ring and migrates every live slot. Distinct cycles
+// stay distinct: two old slots can only land on the same new slot if
+// their cycles agree modulo the new size, which implies they agreed
+// modulo the old size — i.e. they were the same slot.
+func (r *bwRing) grow() {
+	newSize := (r.mask + 1) * 2
+	if newSize > maxBWRingSlots {
+		panic(fmt.Sprintf("ooo: issue bandwidth ring exceeded %d slots; live issue-cycle spread is beyond the reorder-window bound", maxBWRingSlots))
+	}
+	cycle := make([]int64, newSize)
+	used := make([]int32, newSize)
+	newMask := newSize - 1
+	for s := int64(0); s <= r.mask; s++ {
+		if r.used[s] == 0 {
+			continue
+		}
+		ns := r.cycle[s] & newMask
+		cycle[ns] = r.cycle[s]
+		used[ns] = r.used[s]
+	}
+	r.cycle, r.used, r.mask = cycle, used, newMask
+	r.grown++
 }
 
 // inorderBW limits a pipeline stage whose event times are monotone
@@ -206,4 +364,94 @@ func (b *inorderBW) book(t int64) int64 {
 	b.cur++
 	b.used = 1
 	return b.cur
+}
+
+// storeTable is the in-flight store-forwarding buffer: an open-addressed
+// hash table from 8-byte-aligned addresses to the youngest committed store
+// at that address. It replaces a map[uint64]storeEntry on the hot path —
+// same overwrite-on-commit, lookup-on-load semantics, without per-op
+// hashing through the runtime map or GC write barriers. Keys are stored
+// as addr|1 (addresses are masked to 8-byte alignment, so the tag bit is
+// free), leaving 0 as the empty marker even for address 0.
+type storeTable struct {
+	keys []uint64
+	vals []storeEntry
+	mask uint64
+	n    int
+}
+
+func newStoreTable() *storeTable {
+	const initSize = 1024
+	return &storeTable{
+		keys: make([]uint64, initSize),
+		vals: make([]storeEntry, initSize),
+		mask: initSize - 1,
+	}
+}
+
+// hashAddr spreads the aligned-address key over the table (Fibonacci
+// multiplicative hashing; the low bits of an aligned address carry no
+// entropy on their own).
+func hashAddr(k uint64) uint64 {
+	k *= 0x9E3779B97F4A7C15
+	return k ^ (k >> 29)
+}
+
+// get returns the entry for addr (which must be 8-byte aligned).
+func (s *storeTable) get(addr uint64) (storeEntry, bool) {
+	k := addr | 1
+	i := hashAddr(k) & s.mask
+	for {
+		kk := s.keys[i]
+		if kk == k {
+			return s.vals[i], true
+		}
+		if kk == 0 {
+			return storeEntry{}, false
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+// put inserts or overwrites the entry for addr (8-byte aligned).
+func (s *storeTable) put(addr uint64, v storeEntry) {
+	k := addr | 1
+	i := hashAddr(k) & s.mask
+	for {
+		kk := s.keys[i]
+		if kk == k {
+			s.vals[i] = v
+			return
+		}
+		if kk == 0 {
+			s.keys[i] = k
+			s.vals[i] = v
+			s.n++
+			if uint64(s.n)*4 > (s.mask+1)*3 {
+				s.rehash()
+			}
+			return
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+// rehash doubles the table and reinserts every key.
+func (s *storeTable) rehash() {
+	oldKeys, oldVals := s.keys, s.vals
+	size := (s.mask + 1) * 2
+	s.keys = make([]uint64, size)
+	s.vals = make([]storeEntry, size)
+	s.mask = size - 1
+	for i, k := range oldKeys {
+		if k == 0 {
+			continue
+		}
+		j := hashAddr(k) & s.mask
+		for s.keys[j] != 0 {
+			j = (j + 1) & s.mask
+		}
+		s.keys[j] = k
+		s.vals[j] = oldVals[i]
+	}
 }

@@ -53,15 +53,15 @@ func (c *Core) RunStream(stream []isa.Inst, chunkSize int, sink func(*pipetrace.
 
 	for seq := range stream {
 		in := &stream[seq]
-		rec := pipetrace.NewRecord(seq, in.PC, in.Class)
+		chunk.Records = pipetrace.AppendReset(chunk.Records, seq, in.PC, in.Class)
+		rec := &chunk.Records[len(chunk.Records)-1]
 
-		c.fetch(in, &rec)
-		c.decode(&rec)
-		c.rename(in, &rec)
-		c.schedule(in, &rec)
-		c.commit(in, &rec)
+		c.fetch(in, rec)
+		c.decode(rec)
+		c.rename(in, rec)
+		c.schedule(in, rec)
+		c.commit(in, rec)
 
-		chunk.Records = append(chunk.Records, rec)
 		if len(chunk.Records) == chunkSize {
 			if err := flush(); err != nil {
 				return nil, err

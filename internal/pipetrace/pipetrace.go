@@ -105,18 +105,51 @@ type Record struct {
 
 // NewRecord returns a Record with all stamps empty and producers cleared.
 func NewRecord(seq int, pc uint64, class isa.OpClass) Record {
-	r := Record{
-		Seq:            seq,
-		PC:             pc,
-		Class:          class,
-		FUProducer:     -1,
-		PortProducer:   -1,
-		MispredictFrom: -1,
-	}
+	var r Record
+	r.Reset(seq, pc, class)
+	return r
+}
+
+// Reset reinitializes r in place to exactly the state NewRecord returns.
+// The simulator fills pooled record storage through it — resetting the
+// slot a pipeline stage is about to write instead of building a ~200-byte
+// struct on the stack and copying it into the slice per instruction. Every
+// field is (re)assigned, so slots recycled by the trace pool cannot leak
+// stale stamps or annotation subslices.
+func (r *Record) Reset(seq int, pc uint64, class isa.OpClass) {
+	// Field-wise on purpose: `*r = Record{...}` materializes a ~200-byte
+	// temporary and duffcopies it into the slot, which is the exact copy
+	// this method exists to avoid.
+	r.Seq = seq
+	r.PC = pc
+	r.Class = class
 	for i := range r.Stamp {
 		r.Stamp[i] = NoStamp
 	}
-	return r
+	r.ResourceDeps = nil
+	r.FUProducer = -1
+	r.FURes = 0
+	r.PortProducer = -1
+	r.DataProducers = nil
+	r.MispredictFrom = -1
+	r.Mispredicted = false
+	r.ICacheLat = 0
+	r.DCacheLat = 0
+	r.ExecLat = 0
+}
+
+// AppendReset extends recs by one record — reusing the existing slot in
+// place when capacity allows, as it always does for pooled trace and chunk
+// storage — and resets that slot to the NewRecord state. It returns the
+// extended slice; the caller fills the last element through a pointer.
+func AppendReset(recs []Record, seq int, pc uint64, class isa.OpClass) []Record {
+	if len(recs) < cap(recs) {
+		recs = recs[:len(recs)+1]
+	} else {
+		recs = append(recs, Record{})
+	}
+	recs[len(recs)-1].Reset(seq, pc, class)
+	return recs
 }
 
 // Validate checks the monotonicity invariant: every present stage stamp is
