@@ -12,7 +12,7 @@ GO ?= go
 # testable, so untested lines defeat its point). Measured 91%/90%/97% when
 # the gates were set; the slack absorbs small refactors, not test deletions.
 # The simulator core and the conformance harness joined with the batch
-# work: four execution engines claim bit-identical results, so untested
+# work: five execution engines claim bit-identical results, so untested
 # simulator lines are unpinned behaviour (measured 94%/90% at gate time).
 COVER_MIN_OBS := 85
 COVER_MIN_DSE := 80
@@ -21,7 +21,7 @@ COVER_MIN_SELFDEG := 80
 COVER_MIN_OOO := 80
 COVER_MIN_CONFORMANCE := 90
 
-.PHONY: build vet test race cover fuzz-seeds bench bench-deg bench-sim bench-sim-smoke bench-pipeline bench-pipeline-smoke bench-spans bench-batch bench-batch-smoke bench-all bench-all-smoke profile-sim ci
+.PHONY: build vet test race cover fuzz-seeds bench bench-deg bench-sim bench-sim-smoke bench-pipeline bench-pipeline-smoke bench-pipeline-par bench-spans bench-batch bench-batch-smoke bench-all bench-all-smoke profile-sim profile-pipeline ci
 
 build:
 	$(GO) build ./...
@@ -50,7 +50,7 @@ cover:
 	check ooo $(COVER_MIN_OOO); \
 	check conformance $(COVER_MIN_CONFORMANCE)
 
-# A short randomized pass over the campaign-file reader, the four-engine
+# A short randomized pass over the campaign-file reader, the five-engine
 # conformance check, and the capacity-pool/heap differential (the
 # calendar-queue pool must pop bit-identically to container/heap), on top
 # of the checked-in seed corpora that `make test` already replays.
@@ -85,12 +85,32 @@ bench-sim-smoke:
 # live-heap measurements from the Large variants (run those with
 # -benchtime=1x; they dominate wall-clock otherwise).
 bench-pipeline:
-	$(GO) test -bench='BenchmarkPipeline(Buffered|Stream)$$' -benchmem -run XXX -count 3 .
+	$(GO) test -bench='BenchmarkPipeline(Buffered|Stream|StreamPar)$$' -benchmem -run XXX -count 3 .
 
 # Single-iteration smoke of the pipeline benchmarks for CI: exercises the
-# fused streaming path end to end without paying for a measurement run.
+# fused streaming path end to end (sequential and 4-worker) without paying
+# for a measurement run.
 bench-pipeline-smoke:
-	$(GO) test -bench='BenchmarkPipeline(Buffered|Stream)$$' -benchtime=1x -run XXX .
+	$(GO) test -bench='BenchmarkPipeline(Buffered|Stream|StreamPar)$$' -benchtime=1x -run XXX .
+
+# Parallel windowed DEG gate: the fused pipeline at 4 analysis workers vs
+# the SAME run's sequential pipeline (benchgate's bench: baseline), so host
+# speed cancels out. The speedup rides on spare cores, so the floors —
+# 1.5x on the 20k run, 2.5x on the 1M run (the headline target, run at
+# -benchtime=1x) — arm on hosts with >=4 cores; on smaller hosts the gate
+# degrades to no-regression (>=0.9x sequential): the worker pool must not
+# cost throughput even where it cannot buy any.
+bench-pipeline-par:
+	$(GO) build -o benchgate ./cmd/benchgate
+	@cores=$$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1); \
+	if [ "$$cores" -ge 4 ]; then mult=1.5; large=2.5; tol=0; \
+	else mult=1.0; large=1.0; tol=0.10; \
+	  echo "bench-pipeline-par: $$cores core(s), workers cannot scale: gating no-regression (>=0.9x seq) instead of the 1.5x/2.5x parallel floors"; fi; \
+	( $(GO) test -bench='BenchmarkPipelineStream(Par)?$$' -run XXX -count 1 . ; \
+	  $(GO) test -bench='BenchmarkPipelineStreamLarge(Par)?$$' -benchtime=1x -run XXX -count 1 . ) | \
+	  ./benchgate -tolerance $$tol \
+	    -expect "BenchmarkPipelineStreamPar=$$mult*bench:BenchmarkPipelineStream" \
+	    -expect "BenchmarkPipelineStreamLargePar=$$large*bench:BenchmarkPipelineStreamLarge"
 
 # Span-instrumentation overhead gate: the fused pipeline with the
 # evaluator's full per-evaluation span capture must stay within 2% of the
@@ -134,7 +154,8 @@ bench-batch-smoke:
 # silently erode back even across re-baselines of the calqueue section.
 # Re-baseline (re-run bench-sim / bench-pipeline and update the JSONs)
 # when a deliberate change moves the numbers. The span-overhead gate rides
-# along: span capture must cost <2% of same-run pipeline throughput.
+# along (span capture must cost <2% of same-run pipeline throughput), as do
+# the batch and parallel-DEG speedup gates.
 bench-all:
 	$(GO) build -o benchgate ./cmd/benchgate
 	$(GO) test -bench='BenchmarkSim(Full|Lite)$$|BenchmarkDEG|BenchmarkPipeline(Buffered|Stream)$$' -benchmem -run XXX -count 1 . | \
@@ -146,6 +167,7 @@ bench-all:
 	    -expect 'BenchmarkPipelineStream=BENCH_pipeline.json:after.inst_per_sec'
 	$(MAKE) bench-spans
 	$(MAKE) bench-batch
+	$(MAKE) bench-pipeline-par
 
 # Single-iteration pass of the bench-all simulator+pipeline set through
 # benchgate with a near-zero floor: verifies in CI that every -expect
@@ -153,13 +175,15 @@ bench-all:
 # any host, without paying for — or trusting — a real measurement run.
 bench-all-smoke:
 	$(GO) build -o benchgate ./cmd/benchgate
-	$(GO) test -bench='BenchmarkSim(Full|Lite)$$|BenchmarkDEG|BenchmarkPipeline(Buffered|Stream)$$' -benchtime=1x -run XXX . | \
+	$(GO) test -bench='BenchmarkSim(Full|Lite)$$|BenchmarkDEG|BenchmarkPipeline(Buffered|Stream|StreamPar)$$' -benchtime=1x -run XXX . | \
 	  ./benchgate -tolerance 0.95 \
 	    -expect 'BenchmarkSimFull=BENCH_sim.json:calqueue.full.inst_per_sec' \
 	    -expect 'BenchmarkSimFull=1.2*BENCH_sim.json:after_full.inst_per_sec' \
 	    -expect 'BenchmarkSimLite=BENCH_sim.json:calqueue.lite.inst_per_sec' \
 	    -expect 'BenchmarkPipelineBuffered=BENCH_pipeline.json:before.inst_per_sec' \
-	    -expect 'BenchmarkPipelineStream=BENCH_pipeline.json:after.inst_per_sec'
+	    -expect 'BenchmarkPipelineStream=BENCH_pipeline.json:after.inst_per_sec' \
+	    -expect 'BenchmarkPipelineStreamPar=1.5*bench:BenchmarkPipelineStream' \
+	    -expect 'BenchmarkPipelineStreamPar=BENCH_pipeline.json:parallel.par4.inst_per_sec'
 
 # CPU profile of the full-fidelity simulator benchmark. Inspect with
 #   go tool pprof -top sim.pprof
@@ -167,6 +191,16 @@ bench-all-smoke:
 profile-sim:
 	$(GO) test -bench='BenchmarkSimFull$$' -run XXX -cpuprofile sim.pprof -o sim.test .
 	@echo "wrote sim.pprof (binary: sim.test); try: go tool pprof -top sim.pprof"
+
+# CPU + heap profile of the fused 1M-instruction sim→DEG pipeline — the
+# DSE inner loop's dominant cost and the profile that motivated the
+# parallel windowed analysis (DESIGN.md §16 records the top-10). Inspect:
+#   go tool pprof -top pipeline_cpu.pprof
+#   go tool pprof -top pipeline_mem.pprof
+#   go tool pprof -http=: pipeline_cpu.pprof
+profile-pipeline:
+	$(GO) test -bench='BenchmarkPipelineStreamLarge$$' -benchtime=1x -run XXX -cpuprofile pipeline_cpu.pprof -memprofile pipeline_mem.pprof -o pipeline.test .
+	@echo "wrote pipeline_cpu.pprof / pipeline_mem.pprof (binary: pipeline.test); try: go tool pprof -top pipeline_cpu.pprof"
 
 # The alloc gate on the streaming hot path (internal/deg
 # TestStreamAllocsBounded) runs inside `cover`'s non-race test pass; the

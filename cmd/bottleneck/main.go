@@ -96,9 +96,12 @@ func main() {
 			// Fused simulate+analyze: the simulator's chunks feed the
 			// windowed analyzer directly and no full trace is materialized —
 			// peak memory is the analyzer's window+margin working set.
+			qwait := rec.Histogram(obs.MetricDEGQueueWait)
 			sa, err := deg.NewStreamAnalyzer(deg.WindowOptions{
 				Window: degf.Window, Overlap: degf.Overlap,
 				ReorderWindow: cfg.ROBEntries,
+				Workers:       degf.ResolvedWorkers(),
+				OnQueueWait:   func(d time.Duration) { qwait.Observe(d.Seconds()) },
 			})
 			cli.Check(err)
 			t0 = time.Now()
@@ -122,6 +125,7 @@ func main() {
 				rep, ws, err = deg.AnalyzeWindowed(tr, deg.WindowOptions{
 					Window: degf.Window, Overlap: degf.Overlap,
 					ReorderWindow: cfg.ROBEntries,
+					Workers:       degf.ResolvedWorkers(),
 				})
 				cli.Check(err)
 				fmt.Printf("windowed analysis: %d windows, peak %d edges / %d vertices, %d clipped deps\n",
@@ -135,6 +139,7 @@ func main() {
 		if ws != nil {
 			rec.Gauge(obs.MetricDEGWindows).Set(float64(ws.Windows))
 			rec.Gauge(obs.MetricDEGPeakEdges).Set(float64(ws.PeakEdges))
+			rec.Gauge(obs.MetricDEGWorkers).Set(float64(degf.ResolvedWorkers()))
 			if d := ws.Dropped(); d > 0 {
 				rec.Counter(obs.MetricDEGDrops).Add(int64(d))
 			}

@@ -1,9 +1,11 @@
 // Package conformance is the differential-testing harness over the
-// simulator's four execution engines: per-config full-fidelity (Core.Run),
-// probe-lite (Core.RunLite), streaming (Core.RunStream), and batched
-// multi-config (ooo.RunBatch, full and lite). All four implement one
-// timing model, so for any (config, stream) pair they must agree exactly;
-// the package quantifies that over randomly drawn valid configurations.
+// simulator's five execution engines: per-config full-fidelity (Core.Run),
+// probe-lite (Core.RunLite), streaming (Core.RunStream), batched
+// multi-config (ooo.RunBatch, full and lite), and parallel windowed DEG
+// analysis (deg.AnalyzeWindowed with Workers > 1). All five implement one
+// timing-and-attribution model, so for any (config, stream) pair they must
+// agree exactly; the package quantifies that over randomly drawn valid
+// configurations.
 //
 // The oracle is the fingerprint family in internal/ooo: full engines are
 // compared through ooo.Fingerprint (every deterministic record field),
@@ -11,7 +13,9 @@
 // and the chunked stream through ooo.ChunkedFingerprint. DEG bottleneck
 // attributions computed from the reference and batched traces are compared
 // structurally — agreement of the traces' annotations is necessary but not
-// sufficient for ArchExplorer, whose decisions consume the reports.
+// sufficient for ArchExplorer, whose decisions consume the reports — and
+// the parallel windowed analyzer must reproduce the sequential windowed
+// report bit for bit on the same trace.
 //
 // When a draw disagrees, Shrink reduces the failing design point toward
 // the baseline one lattice step at a time, so the reported counterexample
@@ -62,10 +66,10 @@ func (g *Gen) Config() uarch.Config { return g.Space.Decode(g.Point()) }
 // Mismatch is one engine disagreement: the named engine's fingerprint
 // diverged from the per-config reference run on this (config, workload).
 type Mismatch struct {
-	Engine    string // "batch", "batch-lite", "lite", "stream", "deg"
+	Engine    string // "batch", "batch-lite", "lite", "stream", "deg", "deg-par"
 	Workload  string
 	Config    uarch.Config
-	Want, Got uint64 // reference and diverging fingerprints (0 for "deg")
+	Want, Got uint64 // reference and diverging fingerprints (0 for the deg engines)
 }
 
 // Error implements error.
@@ -179,6 +183,27 @@ func checkOne(stream []isa.Inst, wl string, cfg uarch.Config, full, lite ooo.Bat
 		}
 		if !reflect.DeepEqual(refRep, batchRep) {
 			return &Mismatch{Engine: "deg", Workload: wl, Config: cfg}
+		}
+
+		// Fifth engine: parallel windowed DEG analysis. Window at roughly a
+		// quarter of the trace so the run genuinely spans several windows,
+		// with the margin derived from the config's own reorder window —
+		// then the 4-worker report and stats must be bit-identical to the
+		// sequential windowed run on the same trace.
+		window := max(1, len(tr.Records)/4)
+		seq := deg.WindowOptions{Window: window, ReorderWindow: cfg.ROBEntries}
+		seqRep, seqSt, err := deg.AnalyzeWindowed(tr, seq)
+		if err != nil {
+			return err
+		}
+		par := seq
+		par.Workers = 4
+		parRep, parSt, err := deg.AnalyzeWindowed(tr, par)
+		if err != nil {
+			return err
+		}
+		if !reflect.DeepEqual(parRep, seqRep) || !reflect.DeepEqual(parSt, seqSt) {
+			return &Mismatch{Engine: "deg-par", Workload: wl, Config: cfg}
 		}
 	}
 	return nil

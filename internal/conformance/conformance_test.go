@@ -27,7 +27,7 @@ func stream(t testing.TB, name string, n int) []isa.Inst {
 }
 
 // TestCorpus is the conformance corpus: 200 random valid configs (40 with
-// -short) checked across all four engines on every bundled workload, in
+// -short) checked across all five engines on every bundled workload, in
 // RunBatch-sized rounds so the batched engine sees realistic multi-config
 // batches. A failing draw is shrunk toward the baseline before reporting,
 // so the log names a locally minimal counterexample.
@@ -65,8 +65,9 @@ func TestCorpus(t *testing.T) {
 
 // TestCorpusEdges pins the capacity-floor corners of the space: configs
 // with every pool starved at once (at both width extremes) and with each
-// pool starved individually, checked across all four engines with the DEG
-// oracle on. Random draws never land here, but these are the points where
+// pool starved individually, checked across all five engines with the DEG
+// oracles on (including the parallel windowed engine). Random draws never
+// land here, but these are the points where
 // the pool free lists saturate every cycle — the first place a pool
 // bookkeeping or release-tie-order bug would surface.
 func TestCorpusEdges(t *testing.T) {

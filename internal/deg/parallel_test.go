@@ -1,0 +1,272 @@
+package deg
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"archexplorer/internal/pipetrace"
+	"archexplorer/internal/uarch"
+)
+
+// TestParallelWindowedParity pins the tentpole's determinism guarantee for
+// the buffered analyzer: AnalyzeWindowed with any worker count returns a
+// Report and WindowStats bit-identical to the sequential run, across the
+// same window/overlap shapes the stream parity suite uses — including
+// overlap larger than window and margins larger than the trace.
+func TestParallelWindowedParity(t *testing.T) {
+	const n = 4000
+	tr := traceFor(t, uarch.Baseline(), "458.sjeng", n)
+	cases := []struct {
+		window, overlap int
+	}{
+		{500, 0},
+		{100, 300}, // window smaller than overlap
+		{n + 100, 0},
+		{0, 0},
+		{1000, 64},
+		{3999, 0},
+		{1, 16},
+		{2000, 2 * n}, // margin larger than the trace
+	}
+	for _, tc := range cases {
+		for _, workers := range []int{2, 3, 4, 8, 64} {
+			t.Run(fmt.Sprintf("w%d_o%d_k%d", tc.window, tc.overlap, workers), func(t *testing.T) {
+				seq := WindowOptions{Window: tc.window, Overlap: tc.overlap}
+				wantRep, wantSt, err := AnalyzeWindowed(tr, seq)
+				if err != nil {
+					t.Fatal(err)
+				}
+				par := seq
+				par.Workers = workers
+				gotRep, gotSt, err := AnalyzeWindowed(tr, par)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(gotRep, wantRep) {
+					t.Fatalf("parallel report differs:\npar %+v\nseq %+v", gotRep, wantRep)
+				}
+				if !reflect.DeepEqual(gotSt, wantSt) {
+					t.Fatalf("parallel stats differ:\npar %+v\nseq %+v", gotSt, wantSt)
+				}
+			})
+		}
+	}
+}
+
+// TestParallelStreamParity: the streaming analyzer's parallel mode against
+// the sequential batch analyzer — the full three-way agreement (batch seq,
+// stream seq, stream par) reduces to this plus the existing stream suite.
+func TestParallelStreamParity(t *testing.T) {
+	const n = 4000
+	tr := traceFor(t, uarch.Baseline(), "458.sjeng", n)
+	cases := []struct {
+		window, overlap, chunk, workers int
+	}{
+		{500, 0, 256, 2},
+		{500, 0, 1, 4},
+		{100, 300, 128, 4}, // window smaller than overlap
+		{n + 100, 0, 512, 4},
+		{0, 0, 512, 8},
+		{1000, 64, 256, 3},
+		{1, 16, 64, 4},
+		{2000, 2 * n, 1024, 2},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("w%d_o%d_c%d_k%d", tc.window, tc.overlap, tc.chunk, tc.workers), func(t *testing.T) {
+			seq := WindowOptions{Window: tc.window, Overlap: tc.overlap}
+			wantRep, wantSt, err := AnalyzeWindowed(tr, seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par := seq
+			par.Workers = tc.workers
+			gotRep, gotSt, _ := streamReport(t, tr, par, tc.chunk)
+			if !reflect.DeepEqual(gotRep, wantRep) {
+				t.Fatalf("parallel stream report differs:\npar %+v\nseq %+v", gotRep, wantRep)
+			}
+			if !reflect.DeepEqual(gotSt, wantSt) {
+				t.Fatalf("parallel stream stats differ:\npar %+v\nseq %+v", gotSt, wantSt)
+			}
+		})
+	}
+}
+
+// TestParallelPropertyRandom quantifies worker-count invariance over random
+// {window, overlap, chunk, workers} draws: every draw's parallel stream
+// report must match the sequential batch analyzer bit for bit. Run under
+// -race this doubles as the data-race gate on the dispatch/fold machinery.
+func TestParallelPropertyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x7a11e1))
+	traces := []*pipetrace.Trace{
+		traceFor(t, uarch.Baseline(), "458.sjeng", 2500),
+		traceFor(t, uarch.Baseline(), "429.mcf", 1800),
+	}
+	iters := 30
+	if testing.Short() {
+		iters = 10
+	}
+	for iter := 0; iter < iters; iter++ {
+		tr := traces[rng.Intn(len(traces))]
+		opts := WindowOptions{
+			Window:  rng.Intn(3 * len(tr.Records) / 2), // includes 0 and > trace
+			Overlap: rng.Intn(600),                     // includes 0 (default margin)
+		}
+		chunk := 1 + rng.Intn(2048)
+		workers := 2 + rng.Intn(7)
+		wantRep, wantSt, err := AnalyzeWindowed(tr, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par := opts
+		par.Workers = workers
+		parRep, parSt, err := AnalyzeWindowed(tr, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(parRep, wantRep) || !reflect.DeepEqual(parSt, wantSt) {
+			t.Fatalf("iter %d (window=%d overlap=%d workers=%d): buffered parallel mismatch",
+				iter, opts.Window, opts.Overlap, workers)
+		}
+		gotRep, gotSt, _ := streamReport(t, tr, par, chunk)
+		if !reflect.DeepEqual(gotRep, wantRep) || !reflect.DeepEqual(gotSt, wantSt) {
+			t.Fatalf("iter %d (window=%d overlap=%d chunk=%d workers=%d): stream parallel mismatch",
+				iter, opts.Window, opts.Overlap, chunk, workers)
+		}
+	}
+}
+
+// TestOverlapCoversTraceMatchesWholeTrace pins the exactly-once attribution
+// property behind the overlap >= window corner (the "duplicate stitch"
+// risk): when the margin covers the whole trace, every window builds the
+// same full graph and finds the same global critical path, and since the
+// windows' [lo, hi) ownership ranges partition the trace, the stitched
+// report must equal whole-trace Analyze EXACTLY. Any double attribution of
+// an edge whose head lands in two windows' margins would break this.
+func TestOverlapCoversTraceMatchesWholeTrace(t *testing.T) {
+	const n = 2000
+	tr := traceFor(t, uarch.Baseline(), "429.mcf", n)
+	whole, _, _, err := Analyze(tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		for _, window := range []int{250, 500, 1999} {
+			rep, st, err := AnalyzeWindowed(tr, WindowOptions{Window: window, Overlap: 2 * n, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(rep, whole) {
+				t.Fatalf("window=%d workers=%d overlap=full-trace: stitched report diverges from whole-trace Analyze:\nwindowed %+v\nwhole    %+v",
+					window, workers, rep, whole)
+			}
+			if want := (n + window - 1) / window; st.Windows != want {
+				t.Fatalf("window=%d: %d windows, want %d", window, st.Windows, want)
+			}
+		}
+	}
+}
+
+// TestParallelStreamMemoryBound asserts the tentpole's degraded memory
+// guarantee: with Workers > 1 the analyzer holds at most
+// window + 2*overlap + chunk - 1 records in its sliding buffer plus
+// InflightCap in-flight window copies of window + 2*overlap records each —
+// and the bound stays independent of trace length.
+func TestParallelStreamMemoryBound(t *testing.T) {
+	const window, chunk, workers = 500, 128, 4
+	peaks := make(map[int]int)
+	for _, n := range []int{4000, 8000} {
+		tr := traceFor(t, uarch.Baseline(), "458.sjeng", n)
+		opts := WindowOptions{Window: window, Workers: workers}
+		overlap, err := opts.effectiveOverlap()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sa, err := NewStreamAnalyzer(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sa.InflightCap(); got != 2*workers {
+			t.Fatalf("InflightCap = %d, want %d", got, 2*workers)
+		}
+		feedTrace(t, sa, tr, chunk)
+		bound := window + 2*overlap + chunk - 1 + sa.InflightCap()*(window+2*overlap)
+		if peak := sa.PeakBufferedRecords(); peak > bound {
+			t.Fatalf("n=%d: peak %d records exceeds parallel bound %d (window=%d overlap=%d chunk=%d inflight=%d)",
+				n, peak, bound, window, overlap, chunk, sa.InflightCap())
+		}
+		if _, _, err := sa.Finish(tr.Cycles); err != nil {
+			t.Fatal(err)
+		}
+		if held := sa.RetainedChunks(); held != 0 {
+			t.Fatalf("n=%d: %d chunks leaked past Finish", n, held)
+		}
+		if live := sa.BufferedRecords(); live != 0 {
+			t.Fatalf("n=%d: %d records still counted live past Finish", n, live)
+		}
+		peaks[n] = bound
+	}
+	if peaks[4000] != peaks[8000] {
+		t.Fatalf("memory bound grew with trace length: %v", peaks)
+	}
+}
+
+// TestParallelStreamCloseMidStream: aborting a parallel analyzer mid-flight
+// stops the pool, releases every chunk reference (its own and the
+// workers'), and recycles in-flight tasks; Close stays idempotent.
+func TestParallelStreamCloseMidStream(t *testing.T) {
+	tr := traceFor(t, uarch.Baseline(), "401.bzip2", 3000)
+	sa, err := NewStreamAnalyzer(WindowOptions{Window: 200, Overlap: 64, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedTrace(t, sa, tr, 100)
+	sa.Close()
+	sa.Close()
+	if held := sa.RetainedChunks(); held != 0 {
+		t.Fatalf("%d chunks retained past Close", held)
+	}
+	if live := sa.BufferedRecords(); live != 0 {
+		t.Fatalf("%d records counted live past Close", live)
+	}
+}
+
+// TestParallelQueueWaitHook: the streaming analyzer reports one queue-wait
+// sample per dispatched (non-short-circuited) window, from worker
+// goroutines, so the hook must tolerate concurrent calls — which is also
+// what this pins under -race.
+func TestParallelQueueWaitHook(t *testing.T) {
+	tr := traceFor(t, uarch.Baseline(), "458.sjeng", 4000)
+	var mu sync.Mutex
+	var waits []time.Duration
+	opts := WindowOptions{
+		Window:  500,
+		Workers: 4,
+		OnQueueWait: func(d time.Duration) {
+			mu.Lock()
+			waits = append(waits, d)
+			mu.Unlock()
+		},
+	}
+	wantRep, _, err := AnalyzeWindowed(tr, WindowOptions{Window: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRep, st, _ := streamReport(t, tr, opts, 256)
+	if !reflect.DeepEqual(gotRep, wantRep) {
+		t.Fatal("queue-wait hook changed the report")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(waits) != st.Windows {
+		t.Fatalf("%d queue-wait samples for %d windows", len(waits), st.Windows)
+	}
+	for _, d := range waits {
+		if d < 0 {
+			t.Fatalf("negative queue wait %v", d)
+		}
+	}
+}

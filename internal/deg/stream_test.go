@@ -157,36 +157,50 @@ func TestStreamPropertyRandom(t *testing.T) {
 	}
 }
 
-// TestStreamMemoryBound asserts the tentpole's memory guarantee: the
-// analyzer never buffers more than window + 2*overlap + chunk - 1 records,
-// and every retained chunk is released by Finish.
+// TestStreamMemoryBound asserts the tentpole's memory guarantee at every
+// worker count: the analyzer never holds more than
+// window + 2*overlap + chunk - 1 + InflightCap*(window + 2*overlap)
+// records (the inflight term is zero in sequential mode), the bound does
+// not grow with trace length, and every retained chunk is released by
+// Finish.
 func TestStreamMemoryBound(t *testing.T) {
-	const n, window, chunk = 4000, 500, 128
-	tr := traceFor(t, uarch.Baseline(), "458.sjeng", n)
-	opts := WindowOptions{Window: window}
-	overlap, err := opts.effectiveOverlap()
-	if err != nil {
-		t.Fatal(err)
-	}
-	sa, err := NewStreamAnalyzer(opts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	feedTrace(t, sa, tr, chunk)
-	bound := window + 2*overlap + chunk - 1
-	if peak := sa.PeakBufferedRecords(); peak > bound {
-		t.Fatalf("peak buffered %d records exceeds bound %d (window=%d overlap=%d chunk=%d)",
-			peak, bound, window, overlap, chunk)
-	}
-	maxChunks := (bound+chunk-1)/chunk + 1
-	if held := sa.RetainedChunks(); held > maxChunks {
-		t.Fatalf("retaining %d chunks, bound %d", held, maxChunks)
-	}
-	if _, _, err := sa.Finish(tr.Cycles); err != nil {
-		t.Fatal(err)
-	}
-	if held := sa.RetainedChunks(); held != 0 {
-		t.Fatalf("%d chunks leaked past Finish", held)
+	const window, chunk = 500, 128
+	for _, workers := range []int{0, 1, 4} {
+		for _, n := range []int{4000, 8000} {
+			t.Run(fmt.Sprintf("k%d_n%d", workers, n), func(t *testing.T) {
+				tr := traceFor(t, uarch.Baseline(), "458.sjeng", n)
+				opts := WindowOptions{Window: window, Workers: workers}
+				overlap, err := opts.effectiveOverlap()
+				if err != nil {
+					t.Fatal(err)
+				}
+				sa, err := NewStreamAnalyzer(opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				feedTrace(t, sa, tr, chunk)
+				// Trace-length-independent: every term is a function of the
+				// options alone.
+				bound := window + 2*overlap + chunk - 1 + sa.InflightCap()*(window+2*overlap)
+				if peak := sa.PeakBufferedRecords(); peak > bound {
+					t.Fatalf("peak buffered %d records exceeds bound %d (window=%d overlap=%d chunk=%d inflight=%d)",
+						peak, bound, window, overlap, chunk, sa.InflightCap())
+				}
+				// The sliding buffer's chunk retention is worker-independent:
+				// tasks pin chunks with their own references, not by delaying
+				// the analyzer's eviction.
+				maxChunks := (window+2*overlap+chunk-1+chunk-1)/chunk + 1
+				if held := sa.RetainedChunks(); held > maxChunks {
+					t.Fatalf("retaining %d chunks, bound %d", held, maxChunks)
+				}
+				if _, _, err := sa.Finish(tr.Cycles); err != nil {
+					t.Fatal(err)
+				}
+				if held := sa.RetainedChunks(); held != 0 {
+					t.Fatalf("%d chunks leaked past Finish", held)
+				}
+			})
+		}
 	}
 }
 

@@ -3,6 +3,8 @@ package deg
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"archexplorer/internal/pipetrace"
 	"archexplorer/internal/uarch"
@@ -53,6 +55,15 @@ type WindowOptions struct {
 	// each edge is counted exactly once. Zero derives the margin from
 	// ReorderWindow (RequiredOverlap), or DefaultOverlap when neither is
 	// set.
+	//
+	// Overlap >= Window is valid, not a validation error: neighbouring
+	// windows' margins then overlap each other's interiors, but because
+	// attribution is ownership-based — an edge is counted only by the one
+	// window whose [lo, hi) range contains its head instruction, and those
+	// ranges partition the trace — no edge can be stitched twice no matter
+	// how far the margins reach. TestOverlapCoversTraceMatchesWholeTrace
+	// pins the limiting case (margin covering the whole trace must
+	// reproduce whole-trace Analyze exactly).
 	Overlap int
 	// ReorderWindow is the evaluated config's ROB capacity in
 	// instructions. When set, a zero Overlap derives the margin as
@@ -62,6 +73,34 @@ type WindowOptions struct {
 	// behavior (DefaultOverlap, no validation) for callers without a
 	// config in hand.
 	ReorderWindow int
+	// Workers sets how many goroutines analyze windows concurrently.
+	// Values <= 1 keep the sequential path; higher values fan the pure
+	// per-window phase (graph build + DP) out across a pool, folding
+	// results back in window order so the Report and WindowStats are
+	// bit-identical to the sequential run at any worker count. The count
+	// is clamped to the number of windows. Callers that want machine
+	// scaling should resolve it themselves (e.g. runtime.GOMAXPROCS);
+	// the library default stays sequential.
+	Workers int
+	// OnQueueWait, when non-nil, observes how long each sealed window
+	// waited between becoming analyzable and a worker picking it up.
+	// Only the streaming analyzer reports it (in the buffered path every
+	// window is ready at once, so the wait measures nothing); hooks must
+	// be safe for concurrent calls when Workers > 1.
+	OnQueueWait func(time.Duration)
+}
+
+// workerCount resolves Workers against the number of windows: sequential
+// unless both the option and the window count leave room to fan out.
+func (o *WindowOptions) workerCount(windows int) int {
+	w := o.Workers
+	if w > windows {
+		w = windows
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // effectiveOverlap resolves the context margin from the options,
@@ -218,30 +257,61 @@ func AnalyzeWindowed(tr *pipetrace.Trace, opts WindowOptions) (*Report, *WindowS
 	if err != nil {
 		return nil, nil, err
 	}
-
-	b := bufPool.Get().(*buffers)
-	defer bufPool.Put(b)
+	nWin := (n + opts.Window - 1) / opts.Window
+	// bounds returns window i's record range: [lo, hi) is the owned span,
+	// [base, end) adds the context margin on both sides. The margin extends
+	// forward as well as back: the window's path then chooses how to cross
+	// the right boundary with knowledge of what follows, instead of greedily
+	// maximizing cost up to hi — which is where a context-free local path
+	// diverges most from the global one.
+	bounds := func(i int) (base, end, lo, hi int) {
+		lo = i * opts.Window
+		hi = min(lo+opts.Window, n)
+		base = max(lo-overlap, 0)
+		end = min(hi+overlap, n)
+		return
+	}
 
 	var wa windowAccum
-	for lo := 0; lo < n; lo += opts.Window {
-		hi := lo + opts.Window
-		if hi > n {
-			hi = n
+	if workers := opts.workerCount(nWin); workers > 1 {
+		// Fan the pure phase out; fold in window order below. Each worker
+		// owns one pooled buffer set and claims windows by fetch-add, so the
+		// schedule is work-stealing-flat without a queue.
+		results := make([]windowResult, nWin)
+		errs := make([]error, nWin)
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				b := bufPool.Get().(*buffers)
+				defer bufPool.Put(b)
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= nWin {
+						return
+					}
+					base, end, lo, hi := bounds(i)
+					errs[i] = analyzeWindowPure(tr, opts.Options, base, end, lo, hi, b, &results[i])
+				}
+			}()
 		}
-		base := lo - overlap
-		if base < 0 {
-			base = 0
+		wg.Wait()
+		for i := range results {
+			if errs[i] != nil {
+				return nil, nil, errs[i]
+			}
+			wa.fold(&results[i])
 		}
-		// The margin extends forward as well as back: the window's path then
-		// chooses how to cross the right boundary with knowledge of what
-		// follows, instead of greedily maximizing cost up to hi — which is
-		// where a context-free local path diverges most from the global one.
-		end := hi + overlap
-		if end > n {
-			end = n
-		}
-		if err := wa.analyzeWindow(tr, opts.Options, base, end, lo, hi, b); err != nil {
-			return nil, nil, err
+	} else {
+		b := bufPool.Get().(*buffers)
+		defer bufPool.Put(b)
+		for i := 0; i < nWin; i++ {
+			base, end, lo, hi := bounds(i)
+			if err := wa.analyzeWindow(tr, opts.Options, base, end, lo, hi, b); err != nil {
+				return nil, nil, err
+			}
 		}
 	}
 
@@ -257,25 +327,38 @@ type windowAccum struct {
 	attributed int64
 }
 
-// analyzeWindow builds the induced DEG over records [base, end) of tr
-// (indices into tr.Records), constructs its critical path in the pooled
-// buffers, and attributes the path edges owned by [lo, hi) — the window
-// proper, excluding the context margins.
-func (wa *windowAccum) analyzeWindow(tr *pipetrace.Trace, opts Options, base, end, lo, hi int, b *buffers) error {
+// windowResult is the pure phase's output for one window: everything
+// analyzeWindowPure learned, with no shared state touched. Folding these
+// in window order (windowAccum.fold) reconstructs exactly the sums and
+// maxes the sequential loop would have produced — every field is an
+// integer sum or max, so the fold is order-insensitive in value and the
+// in-order pass only pins the iteration for free determinism of Windows
+// counting and future non-commutative stats.
+type windowResult struct {
+	delayByRes [uarch.NumResources]int64
+	edgeCount  [uarch.NumResources]int
+	attributed int64
+
+	edges, vertices                              int
+	droppedNoStamp, droppedBackward, clippedDeps int
+}
+
+// analyzeWindowPure builds the induced DEG over records [base, end) of tr
+// (indices into tr.Records), constructs its critical path in the caller's
+// buffers, and accumulates into res the delay of path edges owned by
+// [lo, hi) — the window proper, excluding the context margins. It reads
+// the trace and writes only b and res, so distinct windows run
+// concurrently given distinct buffers and results.
+func analyzeWindowPure(tr *pipetrace.Trace, opts Options, base, end, lo, hi int, b *buffers, res *windowResult) error {
 	var g Graph
 	if err := buildInto(&g, tr, opts, base, end, b); err != nil {
 		return err
 	}
-	wa.st.Windows++
-	if g.NumEdges() > wa.st.PeakEdges {
-		wa.st.PeakEdges = g.NumEdges()
-	}
-	if g.NumVertices > wa.st.PeakVertices {
-		wa.st.PeakVertices = g.NumVertices
-	}
-	wa.st.DroppedNoStamp += g.DroppedNoStamp
-	wa.st.DroppedBackward += g.DroppedBackward
-	wa.st.ClippedDeps += g.ClippedDeps
+	res.edges = g.NumEdges()
+	res.vertices = g.NumVertices
+	res.droppedNoStamp = g.DroppedNoStamp
+	res.droppedBackward = g.DroppedBackward
+	res.clippedDeps = g.ClippedDeps
 
 	cp, err := g.constructInto(b)
 	if err != nil {
@@ -288,10 +371,36 @@ func (wa *windowAccum) analyzeWindow(tr *pipetrace.Trace, opts Options, base, en
 		if seq := base + e.To.Seq(); seq < lo || seq >= hi {
 			continue // a margin edge; its owner window attributes it
 		}
-		wa.rep.DelayByRes[e.Res] += e.Delay
-		wa.rep.EdgeCount[e.Res]++
-		wa.attributed += e.Delay
+		res.delayByRes[e.Res] += e.Delay
+		res.edgeCount[e.Res]++
+		res.attributed += e.Delay
 	}
+	return nil
+}
+
+// fold accumulates one window's pure result into the stitched report.
+// Callers fold in window order.
+func (wa *windowAccum) fold(res *windowResult) {
+	wa.st.Windows++
+	wa.st.PeakEdges = max(wa.st.PeakEdges, res.edges)
+	wa.st.PeakVertices = max(wa.st.PeakVertices, res.vertices)
+	wa.st.DroppedNoStamp += res.droppedNoStamp
+	wa.st.DroppedBackward += res.droppedBackward
+	wa.st.ClippedDeps += res.clippedDeps
+	for r := range res.delayByRes {
+		wa.rep.DelayByRes[r] += res.delayByRes[r]
+		wa.rep.EdgeCount[r] += res.edgeCount[r]
+	}
+	wa.attributed += res.attributed
+}
+
+// analyzeWindow is the sequential fusion of the pure phase and the fold.
+func (wa *windowAccum) analyzeWindow(tr *pipetrace.Trace, opts Options, base, end, lo, hi int, b *buffers) error {
+	var res windowResult
+	if err := analyzeWindowPure(tr, opts, base, end, lo, hi, b, &res); err != nil {
+		return err
+	}
+	wa.fold(&res)
 	return nil
 }
 
